@@ -1,0 +1,179 @@
+// Package repro's benchmark harness: one testing.B benchmark per table and
+// figure of the paper's evaluation. Each benchmark regenerates its rows at
+// reduced scale (fewer ops/benchmarks than cmd/experiments defaults) so the
+// whole suite completes in minutes on one core; run cmd/experiments for
+// full-scale output. Reported custom metrics carry the experiment's
+// headline numbers (e.g. itesp_vs_synergy_pct for Fig 8).
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/reliability"
+)
+
+// benchOpts returns reduced-scale options writing to io.Discard.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		OpsPerCore: 4_000,
+		Seed:       42,
+		W:          io.Discard,
+		// A representative slice: two graph kernels, a pointer chaser, and
+		// a stream.
+		Benchmarks: []string{"pr", "cc", "mcf", "lbm"},
+	}
+}
+
+func BenchmarkTable1MetadataOverheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(experiments.Options{W: io.Discard})
+		if len(rows) != 5 {
+			b.Fatal("table I must have 5 organizations")
+		}
+	}
+}
+
+func BenchmarkTable2Reliability(b *testing.B) {
+	o := experiments.Options{W: io.Discard, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(o)
+		if res.SingleChip.Corrected != res.SingleChip.Trials {
+			b.Fatal("single-chip correction regressed")
+		}
+	}
+	p := reliability.DefaultParams()
+	b.ReportMetric(reliability.ITESP(p).DUEMultiChip, "itesp_case4_per_Bh")
+}
+
+func BenchmarkFig2MetadataUtilization(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig3AccessPatterns(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5CovertChannel(b *testing.B) {
+	o := experiments.Options{W: io.Discard, Seed: 1}
+	var open, closed bool
+	for i := 0; i < b.N; i++ {
+		inter, iso := experiments.Fig5(o)
+		open = inter[len(inter)-1].Distinguishable
+		closed = true
+		for _, p := range iso {
+			closed = closed && !p.Distinguishable
+		}
+	}
+	if !open || !closed {
+		b.Fatal("covert channel behavior regressed")
+	}
+}
+
+func BenchmarkFig8ExecutionTime(b *testing.B) {
+	o := benchOpts()
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = 100 * r.Improvement("itesp", "synergy")
+	}
+	b.ReportMetric(imp, "itesp_vs_synergy_pct")
+}
+
+func BenchmarkFig9TrafficBreakdown(b *testing.B) {
+	o := benchOpts()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = rows[len(rows)-1].Total // itesp
+	}
+	b.ReportMetric(total, "itesp_accesses_per_op")
+}
+
+func BenchmarkFig10EnergyEDP(b *testing.B) {
+	o := benchOpts()
+	var edp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edp = r.EDP["itesp"].GeoTop15
+	}
+	b.ReportMetric(edp, "itesp_norm_edp")
+}
+
+func BenchmarkFig11MorphableCounters(b *testing.B) {
+	o := benchOpts()
+	o.OpsPerCore = 2_500 // 8 cores
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = 100 * r.Improvement("itesp64", "syn128")
+	}
+	b.ReportMetric(imp, "itesp64_vs_syn128_pct")
+}
+
+func BenchmarkFig12CoreCount(b *testing.B) {
+	o := benchOpts()
+	o.OpsPerCore = 2_500
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("fig 12 must have 4 rows")
+		}
+	}
+}
+
+func BenchmarkFig13CacheSize(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 6 {
+			b.Fatal("fig 13 must have 6 rows")
+		}
+	}
+}
+
+func BenchmarkFig15AddressMapping(b *testing.B) {
+	o := benchOpts()
+	var rbh4 float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rbh4 = rows[3].ImprovementPct
+	}
+	b.ReportMetric(rbh4, "rbh4_vs_synergy_pct")
+}

@@ -1,0 +1,155 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints the corresponding rows/series; see DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Usage:
+//
+//	experiments -fig 8 [-ops 50000] [-bench mcf,pr] [-seed 42]
+//	experiments -table 2
+//	experiments -all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to regenerate (2,3,5,8,9,10,11,12,13,15)")
+	table := flag.Int("table", 0, "table number to regenerate (1,2)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation studies")
+	ops := flag.Uint64("ops", 50_000, "memory operations per core")
+	bench := flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
+	seed := flag.Int64("seed", 42, "trace generation seed")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (default: CPUs-1)")
+	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
+	flag.Parse()
+
+	jsonOut := map[string]any{}
+
+	o := experiments.Options{
+		OpsPerCore: *ops,
+		Seed:       *seed,
+		Parallel:   *parallel,
+	}
+	if *bench != "" {
+		o.Benchmarks = strings.Split(*bench, ",")
+	}
+
+	record := func(key string, v any) {
+		if *jsonPath != "" {
+			jsonOut[key] = v
+		}
+	}
+	runFig := func(n int) error {
+		start := time.Now()
+		defer func() { fmt.Fprintf(os.Stderr, "[fig %d done in %v]\n", n, time.Since(start).Round(time.Second)) }()
+		switch n {
+		case 2:
+			v, err := experiments.Fig2(o)
+			record("fig2", v)
+			return err
+		case 3:
+			v, err := experiments.Fig3(o)
+			record("fig3", v)
+			return err
+		case 5:
+			inter, iso := experiments.Fig5(o)
+			record("fig5", map[string]any{"interleaved": inter, "isolated": iso})
+			return nil
+		case 8:
+			v, err := experiments.Fig8(o)
+			if v != nil {
+				record("fig8", v.Schemes)
+			}
+			return err
+		case 9:
+			v, err := experiments.Fig9(o)
+			record("fig9", v)
+			return err
+		case 10:
+			v, err := experiments.Fig10(o)
+			record("fig10", v)
+			return err
+		case 11:
+			v, err := experiments.Fig11(o)
+			if v != nil {
+				record("fig11", v.Schemes)
+			}
+			return err
+		case 12:
+			v, err := experiments.Fig12(o)
+			record("fig12", v)
+			return err
+		case 13:
+			v, err := experiments.Fig13(o)
+			record("fig13", v)
+			return err
+		case 15:
+			v, err := experiments.Fig15(o)
+			record("fig15", v)
+			return err
+		}
+		return fmt.Errorf("unknown figure %d", n)
+	}
+	runTable := func(n int) error {
+		switch n {
+		case 1:
+			record("table1", experiments.Table1(o))
+			return nil
+		case 2:
+			record("table2", experiments.Table2(o))
+			return nil
+		}
+		return fmt.Errorf("unknown table %d", n)
+	}
+
+	var err error
+	switch {
+	case *all:
+		for _, t := range []int{1, 2} {
+			if err = runTable(t); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+		if err == nil {
+			for _, f := range []int{2, 3, 5, 8, 9, 10, 11, 12, 13, 15} {
+				if err = runFig(f); err != nil {
+					break
+				}
+				fmt.Println()
+			}
+		}
+	case *ablations:
+		err = experiments.Ablations(o)
+	case *fig != 0:
+		err = runFig(*fig)
+	case *table != 0:
+		err = runTable(*table)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(jsonOut, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json output:", err)
+			os.Exit(1)
+		}
+	}
+}

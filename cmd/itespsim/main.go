@@ -1,0 +1,103 @@
+// Command itespsim runs a single secure-memory simulation and prints its
+// key metrics — the quickest way to poke at one (scheme, benchmark,
+// mapping) configuration.
+//
+// Usage:
+//
+//	itespsim -scheme itesp -bench mcf -cores 4 -channels 1 -ops 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	scheme := flag.String("scheme", "itesp", "scheme name: "+fmt.Sprint(core.SchemeNames()))
+	bench := flag.String("bench", "mcf", "benchmark name (Table IV)")
+	cores := flag.Int("cores", 4, "cores / program copies")
+	channels := flag.Int("channels", 1, "DDR channels")
+	policy := flag.String("policy", "", "address mapping: column|rank|rbh2|rbh4 (default: scheme's best)")
+	ops := flag.Uint64("ops", 100_000, "memory operations per core")
+	seed := flag.Int64("seed", 42, "trace seed")
+	metaKB := flag.Int("metakb", 0, "metadata cache KB per core (0 = paper default 16)")
+	strict := flag.Bool("strict", false, "disable speculative verification")
+	ddr4 := flag.Bool("ddr4", false, "use DDR4-2400 timing instead of DDR3-1600")
+	llcFilter := flag.Bool("llc", false, "interpose a per-core LLC filter (emergent writebacks)")
+	traceFiles := flag.String("trace", "", "comma-separated per-core trace files (from tracegen) instead of generators")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var sources []trace.Source
+	if *traceFiles != "" {
+		paths := strings.Split(*traceFiles, ",")
+		if len(paths) != *cores {
+			fmt.Fprintf(os.Stderr, "need %d trace files, got %d\n", *cores, len(paths))
+			os.Exit(1)
+		}
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			sources = append(sources, trace.NewReader(f))
+		}
+	}
+	r, err := sim.Run(sim.Config{
+		SchemeName:    *scheme,
+		Benchmark:     spec,
+		Cores:         *cores,
+		Channels:      *channels,
+		PolicyName:    *policy,
+		OpsPerCore:    *ops,
+		Seed:          *seed,
+		MetaKBPerCore: *metaKB,
+		StrictVerify:  *strict,
+		DDR4:          *ddr4,
+		FilterLLC:     *llcFilter,
+		Sources:       sources,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme:             %s (policy %s)\n", r.Scheme.Name, r.Config.PolicyName)
+	fmt.Printf("benchmark:          %s (%s, %d MB WS, %.1f MPKI)\n", spec.Name, spec.Pattern, spec.WorkingSetMB, spec.MPKI)
+	fmt.Printf("execution time:     %d CPU cycles\n", r.Cycles)
+	fmt.Printf("metadata per op:    %.3f extra accesses\n", r.MetaPerOp())
+	fmt.Printf("row-buffer hit:     %.3f\n", r.RowHitRate())
+	fmt.Printf("metadata cache hit: %.3f\n", r.MetaCacheHitRate())
+	fmt.Printf("memory energy:      %.4f J\n", r.MemoryJoules)
+	fmt.Printf("system EDP:         %.6f Js\n", r.SystemEDP)
+	if r.Scheme.ModelOverflow {
+		fmt.Printf("counter overflows:  %d\n", r.Overflows)
+	}
+	st := &r.Engine.Stats
+	fmt.Printf("pattern cases:      ")
+	for c, f := range st.PatternFrac() {
+		fmt.Printf("%s=%.2f ", core.PatternCase(c), f)
+	}
+	fmt.Println()
+	for _, k := range []mem.Kind{mem.KindMAC, mem.KindCounter, mem.KindTree, mem.KindParity} {
+		rd, wr := st.KindPerOp(k)
+		if rd+wr > 0 {
+			fmt.Printf("  %-8s reads/op=%.3f writes/op=%.3f\n", k, rd, wr)
+		}
+	}
+}

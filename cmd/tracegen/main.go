@@ -1,0 +1,61 @@
+// Command tracegen emits a synthetic benchmark trace to a file in the
+// binary format of internal/trace, for inspection or replay with external
+// tools.
+//
+// Usage:
+//
+//	tracegen -bench bwaves -ops 1000000 -seed 1 -out bwaves.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (Table IV)")
+	ops := flag.Uint64("ops", 1_000_000, "memory operations to emit")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output path (default <bench>.trc)")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = spec.Name + ".trc"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	w := trace.NewWriter(f)
+	src := trace.Limit(workload.NewGenerator(spec, *seed), *ops)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d records (%d bytes) to %s\n", w.Count(), w.Count()*16, path)
+}

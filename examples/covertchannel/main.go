@@ -1,0 +1,51 @@
+// Covert channel demo (paper Fig 5): two colluding enclaves signal through
+// the shared integrity tree and metadata cache; isolated per-enclave trees
+// close the channel.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/covert"
+)
+
+func main() {
+	fmt.Println("Shared integrity tree, interleaved enclave pages (Fig 5A):")
+	show(covert.Run(covert.DefaultConfig(false)))
+
+	fmt.Println("\nIsolated per-enclave trees and cache partitions (Fig 5B):")
+	show(covert.Run(covert.DefaultConfig(true)))
+
+	fmt.Println("\nA reliable channel exists when the victim-idle and victim-active")
+	fmt.Println("latency ranges separate; isolation makes them converge.")
+
+	// Fig 5C: a full secret-extraction attack built on the leakage — the
+	// victim's memory intensity is a function of the secret, and the
+	// attacker decodes it bit by bit.
+	secret := []byte("sgx-sealing-key")
+	fmt.Printf("\nFig 5C attack, secret = %q\n", secret)
+	for _, iso := range []bool{false, true} {
+		res := covert.ExtractSecret(covert.DefaultAttackConfig(iso), secret)
+		mode := "shared tree"
+		if iso {
+			mode = "isolated   "
+		}
+		fmt.Printf("%s: recovered %-20q bit errors %d/%d\n",
+			mode, string(res.Recovered), res.BitErrors, res.TotalBits)
+	}
+}
+
+func show(points []covert.Point) {
+	fmt.Printf("%8s %22s %22s %9s %10s\n", "blocks", "victim idle (cycles)", "victim active", "channel", "bandwidth")
+	for _, p := range points {
+		ch, bw := "closed", "-"
+		if p.Distinguishable {
+			ch = "OPEN"
+			bw = fmt.Sprintf("%.1f Kbps", p.BandwidthBps/1000)
+		}
+		fmt.Printf("%8d %10.0f-%-11.0f %10.0f-%-11.0f %9s %10s\n",
+			p.Blocks, p.Lat0Min, p.Lat0Max, p.Lat1Min, p.Lat1Max, ch, bw)
+	}
+}

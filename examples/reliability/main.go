@@ -1,0 +1,72 @@
+// Reliability and security demo: drives the fully functional verified
+// memory (real SipHash MACs, real hash tree, real bit-level chipkill
+// parity) through the attacks and faults the paper analyzes.
+//
+//	go run ./examples/reliability
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/integrity"
+	"repro/internal/mac"
+	"repro/internal/mem"
+	"repro/internal/parity"
+	"repro/internal/reliability"
+)
+
+func main() {
+	vm := integrity.NewVerifiedMemory(integrity.ITESP(), 1<<16,
+		mac.Key{K0: 0x0123456789abcdef, K1: 0xfedcba9876543210},
+		mac.Key{K0: 0x1111222233334444, K1: 0x5555666677778888})
+
+	var secret [mem.BlockSize]byte
+	copy(secret[:], "the launch code is 0000 0000")
+	vm.Write(42, secret)
+
+	fmt.Println("== Integrity (Section III-F) ==")
+	if _, err := vm.Read(42); err != nil {
+		fmt.Println("unexpected:", err)
+	} else {
+		fmt.Println("clean read verifies")
+	}
+
+	// Tampering: a row-hammer-style bit flip in DRAM.
+	vm.CorruptData(42, 7)
+	if _, err := vm.Read(42); err != nil {
+		fmt.Println("tampered data detected:", err)
+	}
+	vm.Write(42, secret) // repair
+
+	// Replay: a malicious DIMM returns a stale (data, MAC) pair.
+	staleData, staleMAC := vm.Snapshot(42)
+	var newer [mem.BlockSize]byte
+	copy(newer[:], "the launch code is 1234 5678")
+	vm.Write(42, newer)
+	vm.Replay(42, staleData, staleMAC)
+	if _, err := vm.Read(42); err != nil {
+		fmt.Println("replay attack detected:", err)
+	}
+
+	fmt.Println("\n== Chipkill correction with shared parity (Section III-G) ==")
+	var orig [mem.BlockSize]byte
+	copy(orig[:], "precious data striped across 8 DRAM chips")
+	p := parity.BlockParity(&orig)
+	broken := parity.KillChip(orig, 3, 0xA5)
+	fixed, chip, ok := parity.Correct(broken, p, nil,
+		func(c *[mem.BlockSize]byte) bool { return *c == orig })
+	fmt.Printf("chip 3 killed; MAC-guided walk identified chip %d, corrected=%v, data intact=%v\n",
+		chip, ok, fixed == orig)
+
+	fmt.Println("\n== Table II rates (per billion hours) ==")
+	params := reliability.DefaultParams()
+	syn := reliability.Synergy(params)
+	itesp := reliability.ITESP(params)
+	fmt.Printf("%-26s %10s %10s\n", "case", "Synergy", "ITESP")
+	fmt.Printf("%-26s %10.1e %10.1e\n", "Case 1 SDC (detection)", syn.SDCDetection, itesp.SDCDetection)
+	fmt.Printf("%-26s %10.1e %10.1e\n", "Case 2 SDC (correction)", syn.SDCCorrection, itesp.SDCCorrection)
+	fmt.Printf("%-26s %10.1e %10.1e\n", "Case 3 DUE (ambiguous)", syn.DUEAmbiguous, itesp.DUEAmbiguous)
+	fmt.Printf("%-26s %10.1e %10.1e\n", "Case 4 DUE (multi-chip)", syn.DUEMultiChip, itesp.DUEMultiChip)
+	fmt.Printf("\nimmediate scrub shrinks Case 4 by ~%.0fx (Section III-G)\n",
+		reliability.ImmediateScrubFactor(params, 3.6))
+}

@@ -1,0 +1,235 @@
+// Package addrmap maps physical block addresses onto DRAM coordinates
+// (channel, rank, bank, row, column). It implements the four address-mapping
+// policies of Figure 14 of the paper — Column, Rank, 2-row-buffer-hit, and
+// 4-row-buffer-hit — whose interaction with shared parity and metadata-cache
+// locality is evaluated in Figure 15.
+package addrmap
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Geometry describes the DRAM organization visible to the mapping policy.
+// ColumnsPerRow counts 64-byte blocks per row buffer.
+type Geometry struct {
+	Channels      int
+	RanksPerChan  int
+	BanksPerRank  int
+	RowsPerBank   int
+	ColumnsPerRow int
+}
+
+// DefaultGeometry returns the paper's Table III configuration scaled to the
+// given channel count: 64 GB per channel, 16 ranks per channel, 8 banks per
+// rank, 8 KB row buffers (128 blocks per row).
+func DefaultGeometry(channels int) Geometry {
+	return Geometry{
+		Channels:      channels,
+		RanksPerChan:  16,
+		BanksPerRank:  8,
+		RowsPerBank:   64 * 1024,
+		ColumnsPerRow: 128,
+	}
+}
+
+// CapacityBytes returns the total byte capacity across all channels.
+func (g Geometry) CapacityBytes() uint64 {
+	return uint64(g.Channels) * uint64(g.RanksPerChan) * uint64(g.BanksPerRank) *
+		uint64(g.RowsPerBank) * uint64(g.ColumnsPerRow) * mem.BlockSize
+}
+
+// TotalBlocks returns the number of 64-byte blocks across all channels.
+func (g Geometry) TotalBlocks() uint64 { return g.CapacityBytes() / mem.BlockSize }
+
+func (g Geometry) validate() error {
+	for _, v := range []struct {
+		name string
+		n    int
+	}{
+		{"channels", g.Channels},
+		{"ranks", g.RanksPerChan},
+		{"banks", g.BanksPerRank},
+		{"rows", g.RowsPerBank},
+		{"columns", g.ColumnsPerRow},
+	} {
+		if v.n <= 0 || v.n&(v.n-1) != 0 {
+			return fmt.Errorf("addrmap: %s=%d must be a positive power of two", v.name, v.n)
+		}
+	}
+	return nil
+}
+
+// Location is one block's DRAM coordinate.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Column  int
+}
+
+// BankID returns a dense identifier for the (channel, rank, bank) triple,
+// useful for indexing per-bank simulator state.
+func (l Location) BankID(g Geometry) int {
+	return (l.Channel*g.RanksPerChan+l.Rank)*g.BanksPerRank + l.Bank
+}
+
+// Policy translates physical block numbers into DRAM locations.
+type Policy interface {
+	// Map returns the DRAM location of the given physical block number.
+	// Blocks beyond the geometry's capacity wrap around.
+	Map(block uint64) Location
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Geometry returns the underlying DRAM organization.
+	Geometry() Geometry
+}
+
+// field identifies a component of the DRAM coordinate in the bit-slicing
+// order used by a policy.
+type field uint8
+
+const (
+	fChannel field = iota
+	fRank
+	fBank
+	fRow
+	fColumn
+)
+
+// slice is a run of address bits assigned to one coordinate field.
+type slice struct {
+	f    field
+	bits uint
+}
+
+// bitPolicy decomposes block numbers according to an ordered list of bit
+// slices, LSB first. Multiple slices of the same field concatenate, earlier
+// slices providing lower-order bits of that field.
+type bitPolicy struct {
+	name   string
+	geom   Geometry
+	slices []slice
+	mask   uint64
+}
+
+func log2(n int) uint { return uint(bits.TrailingZeros64(uint64(n))) }
+
+func newBitPolicy(name string, g Geometry, slices []slice) *bitPolicy {
+	if err := g.validate(); err != nil {
+		panic(err)
+	}
+	var total uint
+	counts := map[field]uint{}
+	for _, s := range slices {
+		total += s.bits
+		counts[s.f] += s.bits
+	}
+	want := map[field]uint{
+		fChannel: log2(g.Channels),
+		fRank:    log2(g.RanksPerChan),
+		fBank:    log2(g.BanksPerRank),
+		fRow:     log2(g.RowsPerBank),
+		fColumn:  log2(g.ColumnsPerRow),
+	}
+	for f, w := range want {
+		if counts[f] != w {
+			panic(fmt.Sprintf("addrmap %s: field %d has %d bits, geometry needs %d", name, f, counts[f], w))
+		}
+	}
+	return &bitPolicy{name: name, geom: g, slices: slices, mask: (uint64(1) << total) - 1}
+}
+
+// Map implements Policy.
+func (p *bitPolicy) Map(block uint64) Location {
+	b := block & p.mask
+	var parts [5]uint64 // accumulated value per field
+	var shifts [5]uint  // bits already assigned per field
+	for _, s := range p.slices {
+		v := b & ((1 << s.bits) - 1)
+		b >>= s.bits
+		parts[s.f] |= v << shifts[s.f]
+		shifts[s.f] += s.bits
+	}
+	return Location{
+		Channel: int(parts[fChannel]),
+		Rank:    int(parts[fRank]),
+		Bank:    int(parts[fBank]),
+		Row:     int(parts[fRow]),
+		Column:  int(parts[fColumn]),
+	}
+}
+
+// Name implements Policy.
+func (p *bitPolicy) Name() string { return p.name }
+
+// Geometry implements Policy.
+func (p *bitPolicy) Geometry() Geometry { return p.geom }
+
+// Column returns the Fig-14 "Column" policy: consecutive cache lines fill an
+// entire row buffer before moving to the next bank/rank. This maximizes row
+// buffer hits and is the best baseline (Synergy) policy, but consecutive
+// lines map to different shared-parity groups in ITESP.
+func Column(g Geometry) Policy {
+	return newBitPolicy("column", g, []slice{
+		{fColumn, log2(g.ColumnsPerRow)},
+		{fChannel, log2(g.Channels)},
+		{fBank, log2(g.BanksPerRank)},
+		{fRank, log2(g.RanksPerChan)},
+		{fRow, log2(g.RowsPerBank)},
+	})
+}
+
+// Rank returns the Fig-14 "Rank" policy: consecutive cache lines stripe
+// across ranks, so blocks sharing a parity group (and an ITESP leaf node)
+// are consecutive, at the cost of row buffer locality.
+func Rank(g Geometry) Policy {
+	return newBitPolicy("rank", g, []slice{
+		{fRank, log2(g.RanksPerChan)},
+		{fChannel, log2(g.Channels)},
+		{fColumn, log2(g.ColumnsPerRow)},
+		{fBank, log2(g.BanksPerRank)},
+		{fRow, log2(g.RowsPerBank)},
+	})
+}
+
+// RowBufferHit returns the Fig-14 "N-row buffer hit" policy for N = 2 or 4:
+// N consecutive cache lines share a row buffer, then the stripe moves to the
+// next rank. With N = 4 and an ITESP leaf holding 4 shared parities, the 4
+// consecutive lines hit one row buffer *and* one leaf node (Section III-E).
+func RowBufferHit(g Geometry, n int) Policy {
+	if n <= 0 || n&(n-1) != 0 || n >= g.ColumnsPerRow {
+		panic(fmt.Sprintf("addrmap: row-buffer-hit group %d invalid", n))
+	}
+	lowCol := log2(n)
+	return newBitPolicy(fmt.Sprintf("rbh%d", n), g, []slice{
+		{fColumn, lowCol},
+		{fRank, log2(g.RanksPerChan)},
+		{fChannel, log2(g.Channels)},
+		{fColumn, log2(g.ColumnsPerRow) - lowCol},
+		{fBank, log2(g.BanksPerRank)},
+		{fRow, log2(g.RowsPerBank)},
+	})
+}
+
+// ByName returns the policy with the given experiment name: "column",
+// "rank", "rbh2", or "rbh4".
+func ByName(name string, g Geometry) (Policy, error) {
+	switch name {
+	case "column":
+		return Column(g), nil
+	case "rank":
+		return Rank(g), nil
+	case "rbh2":
+		return RowBufferHit(g, 2), nil
+	case "rbh4":
+		return RowBufferHit(g, 4), nil
+	}
+	return nil, fmt.Errorf("addrmap: unknown policy %q", name)
+}
+
+// Names lists the selectable policy names in Fig-14 order.
+func Names() []string { return []string{"column", "rank", "rbh2", "rbh4"} }

@@ -1,0 +1,172 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func geom() Geometry { return DefaultGeometry(1) }
+
+func TestDefaultGeometryCapacity(t *testing.T) {
+	g := DefaultGeometry(1)
+	if got, want := g.CapacityBytes(), uint64(64)<<30; got != want {
+		t.Fatalf("capacity = %d, want 64 GB (%d)", got, want)
+	}
+	g2 := DefaultGeometry(2)
+	if g2.CapacityBytes() != 2*g.CapacityBytes() {
+		t.Fatal("2-channel capacity should double")
+	}
+}
+
+func TestColumnPolicyRowLocality(t *testing.T) {
+	p := Column(geom())
+	l0 := p.Map(0)
+	for b := uint64(1); b < uint64(geom().ColumnsPerRow); b++ {
+		l := p.Map(b)
+		if l.Row != l0.Row || l.Bank != l0.Bank || l.Rank != l0.Rank || l.Channel != l0.Channel {
+			t.Fatalf("block %d left the row: %+v vs %+v", b, l, l0)
+		}
+		if l.Column != int(b) {
+			t.Fatalf("block %d column = %d", b, l.Column)
+		}
+	}
+	// The next block after a full row moves elsewhere.
+	if l := p.Map(uint64(geom().ColumnsPerRow)); l.Row == l0.Row && l.Bank == l0.Bank && l.Rank == l0.Rank {
+		t.Fatal("row should change after ColumnsPerRow blocks")
+	}
+}
+
+func TestRankPolicyStripesRanks(t *testing.T) {
+	p := Rank(geom())
+	for b := 0; b < geom().RanksPerChan; b++ {
+		l := p.Map(uint64(b))
+		if l.Rank != b {
+			t.Fatalf("block %d rank = %d, want %d", b, l.Rank, b)
+		}
+	}
+}
+
+func TestRBH4Grouping(t *testing.T) {
+	p := RowBufferHit(geom(), 4)
+	// Blocks 0..3 share a row buffer.
+	l0 := p.Map(0)
+	for b := uint64(1); b < 4; b++ {
+		l := p.Map(b)
+		if l.Rank != l0.Rank || l.Bank != l0.Bank || l.Row != l0.Row {
+			t.Fatalf("block %d not in same row buffer: %+v vs %+v", b, l, l0)
+		}
+	}
+	// Block 4 moves to the next rank.
+	if l := p.Map(4); l.Rank != l0.Rank+1 {
+		t.Fatalf("block 4 rank = %d, want %d", l.Rank, l0.Rank+1)
+	}
+}
+
+func TestRBH2Grouping(t *testing.T) {
+	p := RowBufferHit(geom(), 2)
+	if a, b := p.Map(0), p.Map(1); a.Rank != b.Rank || a.Row != b.Row {
+		t.Fatal("blocks 0,1 should share a row under rbh2")
+	}
+	if a, b := p.Map(1), p.Map(2); a.Rank == b.Rank {
+		t.Fatal("blocks 1,2 should be in different ranks under rbh2")
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	g := DefaultGeometry(2)
+	p := RowBufferHit(g, 4)
+	seen := map[int]bool{}
+	for b := uint64(0); b < 256; b++ {
+		seen[p.Map(b).Channel] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("saw %d channels over 256 consecutive blocks, want 2", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		p, err := ByName(name, geom())
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy name %q != %q", p.Name(), name)
+		}
+	}
+	if _, err := ByName("bogus", geom()); err == nil {
+		t.Fatal("bogus policy name should error")
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two geometry should panic")
+		}
+	}()
+	Column(Geometry{Channels: 3, RanksPerChan: 16, BanksPerRank: 8, RowsPerBank: 64, ColumnsPerRow: 128})
+}
+
+func TestInvalidRBHGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two group should panic")
+		}
+	}()
+	RowBufferHit(geom(), 3)
+}
+
+// Property: every policy is a bijection from block numbers onto locations
+// within capacity — no two blocks collide.
+func TestPoliciesAreInjective(t *testing.T) {
+	g := Geometry{Channels: 2, RanksPerChan: 4, BanksPerRank: 4, RowsPerBank: 8, ColumnsPerRow: 16}
+	total := g.TotalBlocks()
+	for _, name := range Names() {
+		p, err := ByName(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := make(map[Location]uint64, total)
+		for b := uint64(0); b < total; b++ {
+			l := p.Map(b)
+			if prev, dup := seen[l]; dup {
+				t.Fatalf("%s: blocks %d and %d both map to %+v", name, prev, b, l)
+			}
+			seen[l] = b
+			if l.Channel >= g.Channels || l.Rank >= g.RanksPerChan || l.Bank >= g.BanksPerRank ||
+				l.Row >= g.RowsPerBank || l.Column >= g.ColumnsPerRow {
+				t.Fatalf("%s: block %d maps out of range: %+v", name, b, l)
+			}
+		}
+	}
+}
+
+// Property: addresses beyond capacity wrap deterministically.
+func TestWraparound(t *testing.T) {
+	p := Column(geom())
+	total := geom().TotalBlocks()
+	f := func(b uint64) bool {
+		return p.Map(b) == p.Map(b%total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBankID(t *testing.T) {
+	g := DefaultGeometry(2)
+	seen := map[int]bool{}
+	maxID := g.Channels * g.RanksPerChan * g.BanksPerRank
+	p := Rank(g)
+	for b := uint64(0); b < 4096; b++ {
+		id := p.Map(b).BankID(g)
+		if id < 0 || id >= maxID {
+			t.Fatalf("bank id %d out of range [0,%d)", id, maxID)
+		}
+		seen[id] = true
+	}
+	if len(seen) < g.RanksPerChan {
+		t.Fatalf("rank policy touched only %d banks", len(seen))
+	}
+}

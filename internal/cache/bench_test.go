@@ -1,0 +1,34 @@
+package cache
+
+import "testing"
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(DefaultMetadata(64, 1))
+	c.Insert(0x1000, 0, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0x1000, 0, false)
+	}
+}
+
+func BenchmarkLookupMissInsert(b *testing.B) {
+	c := New(DefaultMetadata(64, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i) * 64
+		if _, hit := c.Lookup(addr, 0, false); !hit {
+			c.Insert(addr, 0, i%2 == 0)
+		}
+	}
+}
+
+func BenchmarkPartitionedLookup(b *testing.B) {
+	c := New(DefaultMetadata(64, 4))
+	for p := 0; p < 4; p++ {
+		c.Insert(0x1000, p, false)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(0x1000, i%4, false)
+	}
+}

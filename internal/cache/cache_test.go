@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Cache {
+	// 4 sets x 2 ways x 64B lines = 512B.
+	return New(Config{SizeBytes: 512, LineBytes: 64, Ways: 2, Partitions: 1})
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := small()
+	if _, hit := c.Lookup(0x1000, 0, false); hit {
+		t.Fatal("cold lookup should miss")
+	}
+	c.Insert(0x1000, 0, false)
+	if _, hit := c.Lookup(0x1000, 0, false); !hit {
+		t.Fatal("lookup after insert should hit")
+	}
+	if c.Stats.Hits.Value() != 1 || c.Stats.Misses.Value() != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", c.Stats.Hits.Value(), c.Stats.Misses.Value())
+	}
+}
+
+func TestLineAlignment(t *testing.T) {
+	c := small()
+	c.Insert(0x1000, 0, false)
+	if _, hit := c.Lookup(0x103f, 0, false); !hit {
+		t.Fatal("address within same line should hit")
+	}
+	if _, hit := c.Lookup(0x1040, 0, false); hit {
+		t.Fatal("next line should miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small() // 2 ways
+	// Three lines mapping to the same set (4 sets, stride 4*64=256B).
+	a, b, d := uint64(0x0000), uint64(0x0100), uint64(0x0200)
+	c.Insert(a, 0, false)
+	c.Insert(b, 0, false)
+	c.Lookup(a, 0, false) // a is now MRU
+	ev := c.Insert(d, 0, false)
+	if !ev.Occurred || ev.Line.Addr != b {
+		t.Fatalf("evicted %+v, want LRU line %#x", ev, b)
+	}
+	if !c.Contains(a, 0) || !c.Contains(d, 0) || c.Contains(b, 0) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := small()
+	c.Insert(0x0000, 0, true)
+	c.Insert(0x0100, 0, false)
+	ev := c.Insert(0x0200, 0, false)
+	if !ev.Occurred || !ev.Line.Dirty {
+		t.Fatalf("expected dirty eviction, got %+v", ev)
+	}
+	if c.Stats.DirtyEvicts.Value() != 1 {
+		t.Fatalf("dirty evicts = %d, want 1", c.Stats.DirtyEvicts.Value())
+	}
+}
+
+func TestLookupMarkDirty(t *testing.T) {
+	c := small()
+	c.Insert(0x0000, 0, false)
+	c.Lookup(0x0000, 0, true)
+	l, _ := c.Invalidate(0x0000, 0)
+	if !l.Dirty {
+		t.Fatal("markDirty lookup should dirty the line")
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Partitions: 2})
+	c.Insert(0x0000, 0, false)
+	if _, hit := c.Lookup(0x0000, 1, false); hit {
+		t.Fatal("partition 1 must not see partition 0's line")
+	}
+	if _, hit := c.Lookup(0x0000, 0, false); !hit {
+		t.Fatal("partition 0 should still hold its line")
+	}
+	// A partition only thrashes itself: fill partition 1 heavily, then
+	// verify partition 0 is untouched.
+	for i := uint64(0); i < 64; i++ {
+		c.Insert(0x10000+i*64, 1, false)
+	}
+	if !c.Contains(0x0000, 0) {
+		t.Fatal("partition 1 traffic evicted partition 0's line")
+	}
+}
+
+func TestOutOfRangePartitionClamps(t *testing.T) {
+	c := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, Partitions: 2})
+	c.Insert(0x40, -1, false)
+	if _, hit := c.Lookup(0x40, 0, false); !hit {
+		t.Fatal("negative partition should clamp to 0")
+	}
+}
+
+func TestUsePerBlock(t *testing.T) {
+	c := small()
+	c.Insert(0x0000, 0, false)
+	c.Lookup(0x0000, 0, false)
+	c.Lookup(0x0000, 0, false)
+	c.Lookup(0x0000, 0, false)
+	c.Invalidate(0x0000, 0)
+	if got := c.Stats.UsePerBlock.Value(); got != 3 {
+		t.Fatalf("use-per-block = %v, want 3", got)
+	}
+}
+
+func TestFlushAllReturnsDirty(t *testing.T) {
+	c := small()
+	c.Insert(0x0000, 0, true)
+	c.Insert(0x0040, 0, false)
+	c.Insert(0x0080, 0, true)
+	dirty := c.FlushAll()
+	if len(dirty) != 2 {
+		t.Fatalf("flush returned %d dirty lines, want 2", len(dirty))
+	}
+	if c.Occupancy() != 0 {
+		t.Fatalf("occupancy after flush = %d, want 0", c.Occupancy())
+	}
+}
+
+func TestDoubleInsertIsIdempotent(t *testing.T) {
+	c := small()
+	c.Insert(0x0000, 0, false)
+	ev := c.Insert(0x0000, 0, true)
+	if ev.Occurred {
+		t.Fatal("re-insert must not evict")
+	}
+	if c.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", c.Occupancy())
+	}
+	l, _ := c.Invalidate(0x0000, 0)
+	if !l.Dirty {
+		t.Fatal("re-insert with dirty=true should dirty the line")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 512, LineBytes: 48, Ways: 2, Partitions: 1}, // non-pow2 line
+		{SizeBytes: 512, LineBytes: 64, Ways: 3, Partitions: 1}, // lines % ways != 0
+		{SizeBytes: 512, LineBytes: 64, Ways: 2, Partitions: 3}, // sets % parts != 0
+		{SizeBytes: 0, LineBytes: 64, Ways: 2, Partitions: 1},   // empty
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: occupancy never exceeds capacity, and a line reported evicted is
+// no longer resident.
+func TestOccupancyBound(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(Config{SizeBytes: 2048, LineBytes: 64, Ways: 4, Partitions: 2})
+		for i, a := range addrs {
+			part := i % 2
+			if _, hit := c.Lookup(uint64(a), part, false); !hit {
+				ev := c.Insert(uint64(a), part, i%3 == 0)
+				if ev.Occurred && c.Contains(ev.Line.Addr, part) {
+					return false
+				}
+			}
+			if c.Occupancy() > c.NumLines() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Insert(a), Lookup(a) hits until a is evicted or
+// invalidated (single-partition sequential use).
+func TestInsertThenLookupHits(t *testing.T) {
+	f := func(a uint32) bool {
+		c := small()
+		c.Insert(uint64(a), 0, false)
+		_, hit := c.Lookup(uint64(a), 0, false)
+		return hit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := small()
+	c.Lookup(0, 0, false)
+	c.Insert(0, 0, false)
+	c.Lookup(0, 0, false)
+	if got := c.Stats.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/cache"
+	"repro/internal/dram"
+	"repro/internal/enclave"
+	"repro/internal/integrity"
+	"repro/internal/mem"
+	"repro/internal/parity"
+	"repro/internal/trace"
+)
+
+// Config assembles one secure-memory system instance.
+type Config struct {
+	Scheme Scheme
+	Policy addrmap.Policy
+	Cores  int
+	// DataPages is the size of the protected data region in 4 KB pages;
+	// metadata regions are laid out above it. The total must fit in the
+	// policy's geometry.
+	DataPages uint64
+	// SpillLimit bounds the engine's internal transaction buffer; Access
+	// backpressures when it is exceeded. Default 64.
+	SpillLimit int
+	// StrictVerify makes data reads complete only after every metadata
+	// read they triggered has returned (no speculative verification). The
+	// paper's baselines hide verification latency behind speculation
+	// (PoisonIvy-style), so the default is false.
+	StrictVerify bool
+}
+
+// Engine is the memory-controller-side security engine: it owns the
+// metadata caches and integrity-tree state, translates each LLC-level data
+// access into DRAM transactions, and tracks read completions.
+type Engine struct {
+	cfg    Config
+	mem    *dram.Memory
+	encl   *enclave.System
+	geom   addrmap.Geometry
+	scheme Scheme
+
+	// trees[i] is enclave i's tree under isolation; trees[0] is the single
+	// shared tree otherwise.
+	trees    []*integrity.Tree
+	counters []counterSim
+
+	meta *cache.Cache // counter + tree (+ embedded parity) cache
+	macC *cache.Cache // separate MAC cache (VAULT)
+	parC *cache.Cache // parity write-coalescing cache
+
+	layout       parity.Layout // parity grouping (shared/embedded)
+	parityStride int
+
+	macBase    mem.PhysAddr
+	parityBase mem.PhysAddr
+
+	spill     []*dram.Txn
+	nextToken uint64
+	tokens    map[*dram.Txn]*accessGroup
+
+	scratch []mem.PhysAddr
+
+	Stats Stats
+}
+
+// accessGroup tracks completion of a data read and (under StrictVerify)
+// its metadata reads.
+type accessGroup struct {
+	token     uint64
+	remaining int
+}
+
+// counterSim abstracts the counter-value simulation used for overflow
+// accounting: the rebase-only CounterStore or the bit-exact MorphableStore.
+type counterSim interface {
+	Write(localBlock uint64) bool
+	Value(localBlock uint64) uint64
+	OverflowCount() uint64
+}
+
+// New builds an engine. The DRAM memory and enclave system are owned by the
+// caller (the simulator) so experiments can inspect them directly.
+func New(cfg Config, dmem *dram.Memory, encl *enclave.System) (*Engine, error) {
+	if cfg.SpillLimit <= 0 {
+		cfg.SpillLimit = 64
+	}
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("core: need at least one core")
+	}
+	e := &Engine{
+		cfg:    cfg,
+		mem:    dmem,
+		encl:   encl,
+		geom:   cfg.Policy.Geometry(),
+		scheme: cfg.Scheme,
+		tokens: make(map[*dram.Txn]*accessGroup),
+	}
+	if !cfg.Scheme.Secure {
+		return e, nil
+	}
+
+	dataBlocks := cfg.DataPages * mem.BlocksPage
+	next := mem.PhysAddr(dataBlocks * mem.BlockSize)
+
+	if !cfg.Scheme.MACInECC {
+		e.macBase = next
+		macBlocks := (dataBlocks + mac64PerBlock - 1) / mac64PerBlock
+		next += mem.PhysAddr(macBlocks * mem.BlockSize)
+	}
+
+	e.parityStride = parityStride(cfg.Policy, shareOf(cfg.Scheme))
+	switch cfg.Scheme.Parity {
+	case ParityPerBlock:
+		e.layout = parity.NewLayout(1, 1, 0)
+		e.parityBase = next
+		e.layout.Base = next
+		next += mem.PhysAddr(e.layout.StorageBlocks(dataBlocks) * mem.BlockSize)
+	case ParityShared:
+		e.layout = parity.NewLayout(cfg.Scheme.ParityShare, e.parityStride, 0)
+		e.parityBase = next
+		e.layout.Base = next
+		next += mem.PhysAddr(e.layout.StorageBlocks(dataBlocks) * mem.BlockSize)
+	case ParityEmbedded:
+		e.layout = parity.NewLayout(cfg.Scheme.Tree.ParityShare, e.parityStride, 0)
+	}
+
+	nTrees := 1
+	treeBlocks := dataBlocks
+	if cfg.Scheme.Isolated {
+		nTrees = cfg.Cores
+		treeBlocks = (dataBlocks + uint64(cfg.Cores) - 1) / uint64(cfg.Cores)
+	}
+	for i := 0; i < nTrees; i++ {
+		t := integrity.NewTree(cfg.Scheme.Tree, treeBlocks, next)
+		next += mem.PhysAddr(t.SizeBlocks() * mem.BlockSize)
+		e.trees = append(e.trees, t)
+		if cfg.Scheme.Tree.Morphable {
+			e.counters = append(e.counters, integrity.NewMorphableStore(cfg.Scheme.Tree))
+		} else {
+			e.counters = append(e.counters, integrity.NewCounterStore(cfg.Scheme.Tree))
+		}
+	}
+	if uint64(next) > e.geom.CapacityBytes() {
+		return nil, fmt.Errorf("core: data (%d pages) + metadata (%d MB) exceed DRAM capacity %d MB",
+			cfg.DataPages, uint64(next)>>20, e.geom.CapacityBytes()>>20)
+	}
+
+	parts := 1
+	if cfg.Scheme.Isolated && !cfg.Scheme.UnpartitionedCache {
+		parts = cfg.Cores
+	}
+	if cfg.Scheme.MetaCacheKB > 0 {
+		e.meta = cache.New(cache.DefaultMetadata(cfg.Scheme.MetaCacheKB, parts))
+	}
+	if cfg.Scheme.MACCacheKB > 0 {
+		e.macC = cache.New(cache.DefaultMetadata(cfg.Scheme.MACCacheKB, parts))
+	}
+	if cfg.Scheme.ParityCacheKB > 0 && cfg.Scheme.ParityCached {
+		e.parC = cache.New(cache.DefaultMetadata(cfg.Scheme.ParityCacheKB, 1))
+	}
+	return e, nil
+}
+
+// mac64PerBlock is the number of 8-byte MACs per 64-byte MAC-region block.
+const mac64PerBlock = mem.BlockSize / mem.MACSize
+
+// shareOf returns the parity-sharing degree of the scheme.
+func shareOf(s Scheme) int {
+	switch s.Parity {
+	case ParityShared:
+		return s.ParityShare
+	case ParityEmbedded:
+		return s.Tree.ParityShare
+	}
+	return 1
+}
+
+// parityStride finds the smallest power-of-two block stride S such that
+// `share` blocks spaced S apart map to distinct ranks under the policy —
+// the placement constraint of Section III-G. For the Rank/RBH policies this
+// is the policy's group size (1, 2, or 4); for Column it spans whole rows.
+func parityStride(p addrmap.Policy, share int) int {
+	if share <= 1 {
+		return 1
+	}
+	g := p.Geometry()
+	if share > g.RanksPerChan {
+		share = g.RanksPerChan
+	}
+	for s := 1; s <= 1<<30; s <<= 1 {
+		distinct := true
+		seen := make(map[int]bool, share)
+		for i := 0; i < share; i++ {
+			loc := p.Map(uint64(i * s))
+			key := loc.Channel*g.RanksPerChan + loc.Rank
+			if seen[key] {
+				distinct = false
+				break
+			}
+			seen[key] = true
+		}
+		if distinct {
+			return s
+		}
+	}
+	return 1
+}
+
+// Scheme returns the engine's scheme.
+func (e *Engine) Scheme() Scheme { return e.scheme }
+
+// MetaCache exposes the metadata cache for experiment instrumentation
+// (Fig 2's use-per-block and hit-rate metrics). It may be nil.
+func (e *Engine) MetaCache() *cache.Cache { return e.meta }
+
+// ParityCache exposes the parity cache; it may be nil.
+func (e *Engine) ParityCache() *cache.Cache { return e.parC }
+
+// MACCache exposes the MAC cache; it may be nil.
+func (e *Engine) MACCache() *cache.Cache { return e.macC }
+
+// Overflows returns total local-counter overflow events across trees.
+func (e *Engine) Overflows() uint64 {
+	var n uint64
+	for _, c := range e.counters {
+		n += c.OverflowCount()
+	}
+	return n
+}
+
+// OverflowPenaltyCycles returns the post-hoc CPU-cycle penalty charged for
+// local-counter overflows, following the paper's methodology of estimating
+// overflow costs with a separate counter-value simulation.
+func (e *Engine) OverflowPenaltyCycles() uint64 {
+	return e.Overflows() * e.scheme.Tree.OverflowPenaltyCycles
+}
+
+// Backpressured reports whether Access would currently be rejected.
+func (e *Engine) Backpressured() bool { return len(e.spill) >= e.cfg.SpillLimit }
+
+// Pending reports in-flight work (spill + DRAM queues).
+func (e *Engine) Pending() int { return len(e.spill) + e.mem.Pending() }
+
+// Access presents one LLC-level data operation from a core. For reads it
+// returns a non-zero token delivered by Tick when the read completes.
+// accepted is false when the engine is backpressured; the caller should
+// retry next cycle.
+func (e *Engine) Access(core int, rec trace.Record) (token uint64, accepted bool, err error) {
+	if e.Backpressured() {
+		return 0, false, nil
+	}
+	id := mem.EnclaveID(core)
+	pa, pte, err := e.encl.Translate(id, rec.VAddr)
+	if err != nil {
+		return 0, false, err
+	}
+	isWrite := rec.Type == mem.Write
+
+	var group *accessGroup
+	if !isWrite {
+		e.nextToken++
+		group = &accessGroup{token: e.nextToken, remaining: 1}
+	}
+	e.pushData(pa, rec.Type, id, core, group)
+
+	if e.scheme.Secure {
+		treeIdx, local := e.treeLocal(core, pte, pa)
+		macMissed := false
+		if !e.scheme.MACInECC {
+			macMissed = e.handleMAC(core, pa, isWrite, id, group)
+		}
+		depth := e.handleTree(treeIdx, local, isWrite, id, core, group)
+		if isWrite {
+			if e.scheme.ModelOverflow {
+				e.counters[treeIdx].Write(local)
+			}
+			e.handleParity(treeIdx, local, pa, id, core)
+			e.Stats.DataWrites.Inc()
+		} else {
+			e.Stats.DataReads.Inc()
+		}
+		e.Stats.recordPattern(isWrite, macMissed, depth)
+	} else {
+		if isWrite {
+			e.Stats.DataWrites.Inc()
+		} else {
+			e.Stats.DataReads.Inc()
+		}
+	}
+
+	if group != nil {
+		return group.token, true, nil
+	}
+	return 0, true, nil
+}
+
+// treeLocal returns the tree index and tree-local block index for a data
+// access: under isolation, the enclave's own tree indexed by leaf-id; in
+// the shared baseline, the single tree indexed by physical block number.
+func (e *Engine) treeLocal(core int, pte enclave.PTE, pa mem.PhysAddr) (int, uint64) {
+	if e.scheme.Isolated {
+		return core, enclave.LocalBlock(pte, pa)
+	}
+	return 0, pa.Block()
+}
+
+// handleMAC performs the separate-MAC-region access of the VAULT baseline.
+func (e *Engine) handleMAC(core int, pa mem.PhysAddr, isWrite bool, id mem.EnclaveID, group *accessGroup) (missed bool) {
+	part := 0
+	if e.scheme.Isolated {
+		part = core
+	}
+	addr := e.macBase + mem.PhysAddr(pa.Block()/mac64PerBlock*mem.BlockSize)
+	if _, hit := e.macC.Lookup(uint64(addr), part, isWrite); hit {
+		return false
+	}
+	// Fetch on read; write-allocate with fetch on write (the 8-byte MAC
+	// update needs the rest of the 64-byte line).
+	e.pushRead(addr, mem.KindMAC, id, core, group)
+	if ev := e.macC.Insert(uint64(addr), part, isWrite); ev.Occurred && ev.Line.Dirty {
+		e.pushWrite(mem.PhysAddr(ev.Line.Addr), mem.KindMAC, id, core)
+	}
+	return true
+}
+
+// handleTree walks the integrity tree from the leaf covering local upward
+// until a metadata-cache hit, fetching missing nodes. It returns the number
+// of levels fetched (0 = leaf hit).
+func (e *Engine) handleTree(treeIdx int, local uint64, dirtyLeaf bool, id mem.EnclaveID, core int, group *accessGroup) int {
+	if e.meta == nil {
+		return 0
+	}
+	part := 0
+	if e.scheme.Isolated {
+		part = treeIdx
+	}
+	e.scratch = e.trees[treeIdx].Walk(local, e.scratch[:0])
+	depth := 0
+	for lvl, addr := range e.scratch {
+		markDirty := dirtyLeaf && lvl == 0
+		if _, hit := e.meta.Lookup(uint64(addr), part, markDirty); hit {
+			break
+		}
+		depth++
+		kind := mem.KindTree
+		if lvl == 0 {
+			kind = mem.KindCounter
+		}
+		e.pushRead(addr, kind, id, core, group)
+		if ev := e.meta.InsertAux(uint64(addr), part, markDirty, uint64(lvl)); ev.Occurred && ev.Line.Dirty {
+			evKind := mem.KindTree
+			if ev.Line.Aux == 0 {
+				evKind = mem.KindCounter
+			}
+			e.pushWrite(mem.PhysAddr(ev.Line.Addr), evKind, id, core)
+		}
+	}
+	return depth
+}
+
+// handleParity generates the error-correction metadata traffic of a data
+// write under the scheme's parity mode.
+func (e *Engine) handleParity(treeIdx int, local uint64, pa mem.PhysAddr, id mem.EnclaveID, core int) {
+	switch e.scheme.Parity {
+	case ParityNone:
+		return
+	case ParityPerBlock, ParityShared:
+		addr := e.layout.BlockAddr(pa.Block())
+		shared := e.scheme.Parity == ParityShared
+		if !e.scheme.ParityCached || e.parC == nil {
+			if shared {
+				// RAID-5 read-modify-write on every data write.
+				e.pushRead(addr, mem.KindParity, id, core, nil)
+				e.Stats.ParityRMW.Inc()
+			}
+			e.pushWrite(addr, mem.KindParity, id, core)
+			return
+		}
+		// Parity cache: a write-coalescing buffer, never filled by reads.
+		if _, hit := e.parC.Lookup(uint64(addr), 0, true); hit {
+			return
+		}
+		if ev := e.parC.Insert(uint64(addr), 0, true); ev.Occurred && ev.Line.Dirty {
+			if shared {
+				// The evicted entry holds only a parity *diff*: read the
+				// old parity, apply, write back (Section III-C).
+				e.pushRead(mem.PhysAddr(ev.Line.Addr), mem.KindParity, id, core, nil)
+				e.Stats.ParityRMW.Inc()
+			}
+			// Masked write transfer of the dirty parity words.
+			e.pushWrite(mem.PhysAddr(ev.Line.Addr), mem.KindParity, id, core)
+		}
+	case ParityEmbedded:
+		// The parity lives in a leaf node of the integrity tree. When the
+		// data block's counter leaf also holds its parity (the common
+		// case under matched address mapping), the write is already
+		// covered by handleTree. Otherwise the other leaf (and its
+		// ancestors, for verification) must be accessed too — the Fig 15
+		// penalty of mismatched address mapping policies.
+		geom := e.scheme.Tree
+		parityLeaf := e.layout.FieldIndex(local) / uint64(geom.ParitiesPerLeaf)
+		counterLeaf := local / uint64(geom.LeafArity)
+		if parityLeaf == counterLeaf {
+			return
+		}
+		e.Stats.ParitySplitLeaf.Inc()
+		e.handleTree(treeIdx, parityLeaf*uint64(geom.LeafArity), true, id, core, nil)
+	}
+}
+
+// pushData enqueues the data transaction itself.
+func (e *Engine) pushData(pa mem.PhysAddr, t mem.AccessType, id mem.EnclaveID, core int, group *accessGroup) {
+	txn := &dram.Txn{
+		Op:  mem.Op{Addr: pa, Type: t, Kind: mem.KindData, Enclave: id, Core: core},
+		Loc: e.cfg.Policy.Map(pa.Block()),
+	}
+	if group != nil {
+		e.tokens[txn] = group
+	}
+	e.push(txn)
+}
+
+func (e *Engine) pushRead(addr mem.PhysAddr, kind mem.Kind, id mem.EnclaveID, core int, group *accessGroup) {
+	txn := &dram.Txn{
+		Op:  mem.Op{Addr: addr, Type: mem.Read, Kind: kind, Enclave: id, Core: core},
+		Loc: e.cfg.Policy.Map(addr.Block()),
+	}
+	if group != nil && e.cfg.StrictVerify {
+		group.remaining++
+		e.tokens[txn] = group
+	}
+	e.Stats.MetaReads[kind].Inc()
+	e.push(txn)
+}
+
+func (e *Engine) pushWrite(addr mem.PhysAddr, kind mem.Kind, id mem.EnclaveID, core int) {
+	txn := &dram.Txn{
+		Op:  mem.Op{Addr: addr, Type: mem.Write, Kind: kind, Enclave: id, Core: core},
+		Loc: e.cfg.Policy.Map(addr.Block()),
+	}
+	e.Stats.MetaWrites[kind].Inc()
+	e.push(txn)
+}
+
+// push enqueues directly when possible, spilling otherwise to preserve
+// issue order.
+func (e *Engine) push(txn *dram.Txn) {
+	if len(e.spill) == 0 && e.mem.Enqueue(txn) {
+		return
+	}
+	e.spill = append(e.spill, txn)
+}
+
+// Tick advances the memory system one DRAM cycle: it drains the spill
+// buffer, ticks DRAM, and returns the tokens of data reads that completed.
+func (e *Engine) Tick() []uint64 {
+	for len(e.spill) > 0 {
+		if !e.mem.Enqueue(e.spill[0]) {
+			break
+		}
+		copy(e.spill, e.spill[1:])
+		e.spill = e.spill[:len(e.spill)-1]
+	}
+	var tokens []uint64
+	for _, txn := range e.mem.Tick() {
+		group, ok := e.tokens[txn]
+		if !ok {
+			continue
+		}
+		delete(e.tokens, txn)
+		group.remaining--
+		if group.remaining == 0 {
+			tokens = append(tokens, group.token)
+		}
+	}
+	return tokens
+}

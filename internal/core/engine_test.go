@@ -1,0 +1,494 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/addrmap"
+	"repro/internal/dram"
+	"repro/internal/enclave"
+	"repro/internal/integrity"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// rig bundles an engine with its memory and enclave system.
+type rig struct {
+	eng  *Engine
+	mem  *dram.Memory
+	encl *enclave.System
+}
+
+func newRig(t *testing.T, scheme Scheme, policyName string, cores int) *rig {
+	t.Helper()
+	geom := addrmap.DefaultGeometry(1)
+	pol, err := addrmap.ByName(policyName, geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmem := dram.New(dram.DefaultConfig(1))
+	encl := enclave.NewDenseSystem(1 << 20) // dense: deterministic layout
+	for i := 0; i < cores; i++ {
+		encl.Create(mem.EnclaveID(i))
+	}
+	eng, err := New(Config{
+		Scheme:    scheme,
+		Policy:    pol,
+		Cores:     cores,
+		DataPages: 1 << 20, // 4 GB data region
+	}, dmem, encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{eng: eng, mem: dmem, encl: encl}
+}
+
+func (r *rig) access(t *testing.T, core int, typ mem.AccessType, vaddr mem.VirtAddr) uint64 {
+	t.Helper()
+	for attempt := 0; attempt < 1_000_000; attempt++ {
+		tok, ok, err := r.eng.Access(core, trace.Record{Type: typ, VAddr: vaddr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			return tok
+		}
+		r.eng.Tick() // drain backpressure
+	}
+	t.Fatal("access never accepted")
+	return 0
+}
+
+// drain ticks until the given token completes or the budget expires.
+func (r *rig) drain(t *testing.T, token uint64, budget int) {
+	t.Helper()
+	for i := 0; i < budget; i++ {
+		for _, tok := range r.eng.Tick() {
+			if tok == token {
+				return
+			}
+		}
+	}
+	t.Fatalf("token %d did not complete in %d cycles", token, budget)
+}
+
+func mustScheme(t *testing.T, name string, cores int) Scheme {
+	t.Helper()
+	s, err := SchemeByName(name, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemeByNameAll(t *testing.T) {
+	for _, name := range SchemeNames() {
+		s, err := SchemeByName(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name {
+			t.Fatalf("scheme name %q != %q", s.Name, name)
+		}
+		if name != "nonsecure" && !s.Secure {
+			t.Fatalf("%s should be secure", name)
+		}
+	}
+	if _, err := SchemeByName("bogus", 4); err == nil {
+		t.Fatal("unknown scheme should error")
+	}
+}
+
+func TestSchemeCacheBudgetScales(t *testing.T) {
+	s4 := mustScheme(t, "synergy", 4)
+	s8 := mustScheme(t, "synergy", 8)
+	if s8.MetaCacheKB != 2*s4.MetaCacheKB {
+		t.Fatalf("8-core budget %d, want double %d", s8.MetaCacheKB, s4.MetaCacheKB)
+	}
+	v := mustScheme(t, "vault", 4)
+	if v.MetaCacheKB+v.MACCacheKB != s4.MetaCacheKB {
+		t.Fatal("vault splits the same total budget between counter and MAC caches")
+	}
+}
+
+func TestNonSecureOnlyDataTraffic(t *testing.T) {
+	r := newRig(t, mustScheme(t, "nonsecure", 1), "column", 1)
+	tok := r.access(t, 0, mem.Read, 0x1000)
+	r.drain(t, tok, 1000)
+	if got := r.eng.Stats.MetaAccessesPerOp(); got != 0 {
+		t.Fatalf("nonsecure generated %.2f metadata accesses/op", got)
+	}
+	s := r.mem.ChannelStats(0)
+	if s.KindReads[mem.KindData].Value() != 1 {
+		t.Fatal("expected exactly one data read")
+	}
+}
+
+func TestVaultColdReadFetchesMACAndTree(t *testing.T) {
+	r := newRig(t, mustScheme(t, "vault", 1), "column", 1)
+	tok := r.access(t, 0, mem.Read, 0x1000)
+	r.drain(t, tok, 5000)
+	st := &r.eng.Stats
+	if st.MetaReads[mem.KindMAC].Value() != 1 {
+		t.Fatalf("MAC reads = %d, want 1", st.MetaReads[mem.KindMAC].Value())
+	}
+	if st.MetaReads[mem.KindCounter].Value() != 1 {
+		t.Fatalf("counter reads = %d, want 1", st.MetaReads[mem.KindCounter].Value())
+	}
+	if st.MetaReads[mem.KindTree].Value() == 0 {
+		t.Fatal("cold read should fetch interior tree nodes")
+	}
+	// The whole walk is now cached: a second read of the same block costs
+	// nothing extra.
+	before := st.MetaAccessesPerOp()
+	tok = r.access(t, 0, mem.Read, 0x1000)
+	r.drain(t, tok, 5000)
+	if st.MetaReads[mem.KindMAC].Value() != 1 || st.MetaReads[mem.KindCounter].Value() != 1 {
+		t.Fatal("warm read must hit the metadata caches")
+	}
+	_ = before
+}
+
+func TestSynergyHasNoMACTraffic(t *testing.T) {
+	r := newRig(t, mustScheme(t, "synergy", 1), "column", 1)
+	tok := r.access(t, 0, mem.Read, 0x2000)
+	r.drain(t, tok, 5000)
+	if r.eng.Stats.MetaReads[mem.KindMAC].Value() != 0 {
+		t.Fatal("Synergy carries the MAC in ECC bits; no MAC region traffic")
+	}
+}
+
+func TestSynergyWritesParityPerDataWrite(t *testing.T) {
+	r := newRig(t, mustScheme(t, "synergy", 1), "column", 1)
+	for i := 0; i < 10; i++ {
+		r.access(t, 0, mem.Write, mem.VirtAddr(0x4000+i*64))
+	}
+	if got := r.eng.Stats.MetaWrites[mem.KindParity].Value(); got != 10 {
+		t.Fatalf("parity writes = %d, want 10 (uncached baseline Synergy)", got)
+	}
+	if r.eng.Stats.ParityRMW.Value() != 0 {
+		t.Fatal("per-block parity needs no read-modify-write")
+	}
+}
+
+func TestParityCacheCoalesces(t *testing.T) {
+	// itsynergy+pc: 8 consecutive blocks share one parity metadata line;
+	// their writes should coalesce to zero immediate parity traffic.
+	r := newRig(t, mustScheme(t, "itsynergy+pc", 1), "column", 1)
+	for i := 0; i < 8; i++ {
+		r.access(t, 0, mem.Write, mem.VirtAddr(0x8000+i*64))
+	}
+	if got := r.eng.Stats.MetaWrites[mem.KindParity].Value(); got != 0 {
+		t.Fatalf("parity writes = %d, want 0 while coalescing in the parity cache", got)
+	}
+}
+
+func TestSharedParityRMWPerWrite(t *testing.T) {
+	r := newRig(t, mustScheme(t, "sharedparity", 1), "rbh4", 1)
+	for i := 0; i < 5; i++ {
+		r.access(t, 0, mem.Write, mem.VirtAddr(0x8000+i*64))
+	}
+	st := &r.eng.Stats
+	if st.MetaReads[mem.KindParity].Value() != 5 || st.MetaWrites[mem.KindParity].Value() != 5 {
+		t.Fatalf("shared parity without cache: reads=%d writes=%d, want 5/5 (RAID-5 RMW)",
+			st.MetaReads[mem.KindParity].Value(), st.MetaWrites[mem.KindParity].Value())
+	}
+	if st.ParityRMW.Value() != 5 {
+		t.Fatalf("RMW count = %d, want 5", st.ParityRMW.Value())
+	}
+}
+
+func TestITESPNoParityTrafficWhenMatched(t *testing.T) {
+	// ITESP (2 parities/leaf) with rbh2 (stride 2): parity and counter
+	// share a leaf, so writes generate zero KindParity traffic and no
+	// split-leaf penalty.
+	r := newRig(t, mustScheme(t, "itesp", 1), "rbh2", 1)
+	for i := 0; i < 32; i++ {
+		r.access(t, 0, mem.Write, mem.VirtAddr(uint64(0x10000+i*64)))
+	}
+	st := &r.eng.Stats
+	if st.MetaReads[mem.KindParity].Value()+st.MetaWrites[mem.KindParity].Value() != 0 {
+		t.Fatal("embedded parity must not touch a separate parity region")
+	}
+	if st.ParitySplitLeaf.Value() != 0 {
+		t.Fatalf("split-leaf events = %d, want 0 under matched mapping", st.ParitySplitLeaf.Value())
+	}
+}
+
+func TestITESPSplitLeafUnderColumnMapping(t *testing.T) {
+	// Under the column policy the parity stride spans rows, so a block's
+	// parity lives in a different leaf than its counter (Fig 15's penalty).
+	r := newRig(t, mustScheme(t, "itesp", 1), "column", 1)
+	for i := 0; i < 32; i++ {
+		r.access(t, 0, mem.Write, mem.VirtAddr(uint64(0x10000+i*64)))
+	}
+	if r.eng.Stats.ParitySplitLeaf.Value() == 0 {
+		t.Fatal("column mapping should split parity and counter leaves")
+	}
+}
+
+func TestIsolationSeparatesTrees(t *testing.T) {
+	r := newRig(t, mustScheme(t, "itsynergy", 2), "column", 2)
+	// Both cores read their own virtual address 0x1000 (different physical
+	// pages, different trees). Each should do its own full cold walk.
+	t0 := r.access(t, 0, mem.Read, 0x1000)
+	r.drain(t, t0, 5000)
+	cold0 := r.eng.Stats.MetaReads[mem.KindCounter].Value()
+	t1 := r.access(t, 1, mem.Read, 0x1000)
+	r.drain(t, t1, 5000)
+	cold1 := r.eng.Stats.MetaReads[mem.KindCounter].Value()
+	if cold1 != cold0+1 {
+		t.Fatalf("second enclave's cold read should fetch its own leaf (got %d -> %d)", cold0, cold1)
+	}
+	// Partition stats: each enclave hit only its own partition.
+	mc := r.eng.MetaCache()
+	if mc.PartStats[0].Total == 0 || mc.PartStats[1].Total == 0 {
+		t.Fatal("both partitions should have been exercised")
+	}
+}
+
+func TestSharedTreeUsesPhysicalIndex(t *testing.T) {
+	// Without isolation there is a single tree; the same physical block
+	// maps to the same leaf regardless of enclave.
+	r := newRig(t, mustScheme(t, "synergy", 2), "column", 2)
+	if len(r.eng.trees) != 1 {
+		t.Fatalf("shared scheme built %d trees, want 1", len(r.eng.trees))
+	}
+}
+
+func TestIsolatedSchemeBuildsPerCoreTrees(t *testing.T) {
+	r := newRig(t, mustScheme(t, "itesp", 4), "rbh2", 4)
+	if len(r.eng.trees) != 4 {
+		t.Fatalf("isolated scheme built %d trees, want 4", len(r.eng.trees))
+	}
+	// Trees occupy disjoint address ranges.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			a, b := r.eng.trees[i], r.eng.trees[j]
+			if a.LeafAddr(0) == b.LeafAddr(0) {
+				t.Fatal("per-enclave trees must not overlap")
+			}
+		}
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	r := newRig(t, mustScheme(t, "vault", 1), "column", 1)
+	// Flood without ticking: eventually Access must refuse.
+	refused := false
+	for i := 0; i < 10_000 && !refused; i++ {
+		_, ok, err := r.eng.Access(0, trace.Record{Type: mem.Read, VAddr: mem.VirtAddr(i * 4096 * 64)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refused = !ok
+	}
+	if !refused {
+		t.Fatal("engine never backpressured under flood")
+	}
+	// Draining restores acceptance.
+	for i := 0; i < 100_000 && r.eng.Backpressured(); i++ {
+		r.eng.Tick()
+	}
+	if r.eng.Backpressured() {
+		t.Fatal("backpressure did not clear after draining")
+	}
+}
+
+func TestStrictVerifyDelaysCompletion(t *testing.T) {
+	geom := addrmap.DefaultGeometry(1)
+	pol, _ := addrmap.ByName("column", geom)
+	build := func(strict bool) (uint64, *Engine) {
+		dmem := dram.New(dram.DefaultConfig(1))
+		encl := enclave.NewDenseSystem(1 << 16)
+		encl.Create(0)
+		eng, err := New(Config{Scheme: mustScheme(t, "vault", 1), Policy: pol, Cores: 1,
+			DataPages: 1 << 16, StrictVerify: strict}, dmem, encl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tok, ok, err := eng.Access(0, trace.Record{Type: mem.Read, VAddr: 0x1000})
+		if err != nil || !ok {
+			t.Fatalf("access failed: %v %v", ok, err)
+		}
+		for i := uint64(1); i < 100_000; i++ {
+			for _, tk := range eng.Tick() {
+				if tk == tok {
+					return i, eng
+				}
+			}
+		}
+		t.Fatal("read never completed")
+		return 0, nil
+	}
+	fast, _ := build(false)
+	slow, _ := build(true)
+	if slow <= fast {
+		t.Fatalf("strict verification (%d) should complete later than speculative (%d)", slow, fast)
+	}
+}
+
+func TestOverflowAccounting(t *testing.T) {
+	s := mustScheme(t, "itesp128", 1) // 2-bit locals, morphable encoding
+	r := newRig(t, s, "rbh4", 1)
+	// The morphable outlier format absorbs a few hot counters up to its
+	// 10-bit outlier width; hammer enough distinct blocks far enough to
+	// exhaust every format.
+	for slot := 0; slot < 12; slot++ {
+		for i := 0; i < 1100; i++ {
+			r.access(t, 0, mem.Write, mem.VirtAddr(0x1000+slot*64))
+		}
+	}
+	if r.eng.Overflows() == 0 {
+		t.Fatal("hammering past the outlier width should overflow")
+	}
+	if r.eng.OverflowPenaltyCycles() != r.eng.Overflows()*s.Tree.OverflowPenaltyCycles {
+		t.Fatal("penalty must be overflows x per-event cost")
+	}
+}
+
+func TestPatternClassification(t *testing.T) {
+	cases := []struct {
+		mac   bool
+		depth int
+		want  PatternCase
+	}{
+		{false, 0, CaseA}, {true, 0, CaseB},
+		{false, 1, CaseC}, {true, 1, CaseD},
+		{false, 2, CaseE}, {true, 2, CaseF},
+		{false, 3, CaseG}, {true, 3, CaseH},
+		{false, 5, CaseG}, {true, 5, CaseH},
+	}
+	for _, c := range cases {
+		if got := classify(c.mac, c.depth); got != c.want {
+			t.Errorf("classify(%v,%d) = %v, want %v", c.mac, c.depth, got, c.want)
+		}
+	}
+	if CaseA.String() != "A" || CaseH.String() != "H" {
+		t.Fatal("case naming broken")
+	}
+}
+
+func TestParityStrideMatchesPolicies(t *testing.T) {
+	g := addrmap.DefaultGeometry(1)
+	for _, tc := range []struct {
+		policy string
+		want   int
+	}{
+		{"rank", 1}, {"rbh2", 2}, {"rbh4", 4},
+	} {
+		p, _ := addrmap.ByName(tc.policy, g)
+		if got := parityStride(p, 16); got != tc.want {
+			t.Errorf("%s stride = %d, want %d", tc.policy, got, tc.want)
+		}
+	}
+	col, _ := addrmap.ByName("column", g)
+	if got := parityStride(col, 16); got < g.ColumnsPerRow {
+		t.Errorf("column stride = %d, want >= a full row (%d)", got, g.ColumnsPerRow)
+	}
+}
+
+func TestCapacityValidation(t *testing.T) {
+	geom := addrmap.DefaultGeometry(1)
+	pol, _ := addrmap.ByName("column", geom)
+	dmem := dram.New(dram.DefaultConfig(1))
+	encl := enclave.NewDenseSystem(1 << 30)
+	_, err := New(Config{
+		Scheme: mustScheme(t, "vault", 1), Policy: pol, Cores: 1,
+		DataPages: 1 << 24, // 64 GB of data leaves no room for 12.5% MAC region
+	}, dmem, encl)
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("expected capacity error, got %v", err)
+	}
+}
+
+func TestTokensAreUniqueAndNonZero(t *testing.T) {
+	r := newRig(t, mustScheme(t, "nonsecure", 1), "column", 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 20; i++ {
+		tok := r.access(t, 0, mem.Read, mem.VirtAddr(i*64))
+		if tok == 0 || seen[tok] {
+			t.Fatalf("token %d invalid or duplicated", tok)
+		}
+		seen[tok] = true
+		r.drain(t, tok, 5000)
+	}
+	// Writes yield no token.
+	tok, ok, err := r.eng.Access(0, trace.Record{Type: mem.Write, VAddr: 0})
+	if err != nil || !ok || tok != 0 {
+		t.Fatalf("write returned token %d", tok)
+	}
+}
+
+func TestTreeGeometrySanity(t *testing.T) {
+	// The ITESP leaf must cover half as many counters as VAULT's, with the
+	// freed space holding 2 shared parities covering 16 blocks each
+	// (Fig 6).
+	g := integrity.ITESP()
+	if g.LeafArity != 32 || g.ParitiesPerLeaf != 2 || g.ParityShare != 16 {
+		t.Fatalf("unexpected ITESP leaf organization: %+v", g)
+	}
+}
+
+func TestAllSchemesConstructEngines(t *testing.T) {
+	geom := addrmap.DefaultGeometry(1)
+	for _, name := range SchemeNames() {
+		s := mustScheme(t, name, 4)
+		pol, _ := addrmap.ByName("rbh2", geom)
+		dmem := dram.New(dram.DefaultConfig(1))
+		encl := enclave.NewDenseSystem(1 << 16)
+		for i := 0; i < 4; i++ {
+			encl.Create(mem.EnclaveID(i))
+		}
+		eng, err := New(Config{Scheme: s, Policy: pol, Cores: 4, DataPages: 1 << 16}, dmem, encl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// One access of each type must not panic and must be accepted.
+		if _, ok, err := eng.Access(1, trace.Record{Type: mem.Read, VAddr: 0x5000}); err != nil || !ok {
+			t.Fatalf("%s read: ok=%v err=%v", name, ok, err)
+		}
+		if _, ok, err := eng.Access(2, trace.Record{Type: mem.Write, VAddr: 0x9000}); err != nil || !ok {
+			t.Fatalf("%s write: ok=%v err=%v", name, ok, err)
+		}
+	}
+}
+
+func TestUnpartitionedCacheSharesSets(t *testing.T) {
+	s := mustScheme(t, "itsynergy", 2)
+	s.UnpartitionedCache = true
+	r := newRig(t, s, "column", 2)
+	// Trees remain isolated...
+	if len(r.eng.trees) != 2 {
+		t.Fatal("unpartitioned-cache ablation must keep isolated trees")
+	}
+	// ...but the metadata cache has a single partition.
+	if got := r.eng.MetaCache().Config().Partitions; got != 1 {
+		t.Fatalf("cache partitions = %d, want 1", got)
+	}
+}
+
+func TestMetaReadInvariant(t *testing.T) {
+	// Engine-side metadata read counts must equal the DRAM-side kind
+	// accounting once everything drains (conservation of transactions).
+	r := newRig(t, mustScheme(t, "vault", 1), "column", 1)
+	for i := 0; i < 50; i++ {
+		typ := mem.Read
+		if i%3 == 0 {
+			typ = mem.Write
+		}
+		r.access(t, 0, typ, mem.VirtAddr(i*4096))
+	}
+	for i := 0; i < 200_000 && r.eng.Pending() > 0; i++ {
+		r.eng.Tick()
+	}
+	if r.eng.Pending() != 0 {
+		t.Fatal("engine did not drain")
+	}
+	st := r.mem.ChannelStats(0)
+	for _, k := range []mem.Kind{mem.KindMAC, mem.KindCounter, mem.KindTree} {
+		if st.KindReads[k].Value() != r.eng.Stats.MetaReads[k].Value() {
+			t.Fatalf("%v reads: dram=%d engine=%d", k, st.KindReads[k].Value(), r.eng.Stats.MetaReads[k].Value())
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package core implements the paper's contribution: the secure-memory
+// engine that sits between the LLC and DRAM and, for every data read and
+// write-back, generates the metadata traffic (MAC, counter, integrity-tree,
+// and error-correction parity accesses) of each scheme evaluated in the
+// paper — the VAULT and Synergy baselines, their isolated-tree variants,
+// parity caching and sharing, and the proposed ITESP designs, plus the
+// Morphable-Counter family of Figure 7.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/integrity"
+)
+
+// ParityMode selects how error-correction metadata is organized.
+type ParityMode uint8
+
+const (
+	// ParityNone: no correction metadata traffic. Used by the non-secure
+	// baseline and by VAULT, where conventional ECC travels in the 9th
+	// chip of the ECC DIMM alongside the data burst.
+	ParityNone ParityMode = iota
+	// ParityPerBlock is baseline Synergy: a 64-bit parity per data block,
+	// written to a separate region on every data write (requires DRAM
+	// write masking).
+	ParityPerBlock
+	// ParityShared XORs the parity of Share blocks in different ranks;
+	// updates need a RAID-5-style read-modify-write (Section III-C).
+	ParityShared
+	// ParityEmbedded stores the shared parity inside integrity-tree leaf
+	// nodes: the ITESP proposal (Section III-D).
+	ParityEmbedded
+)
+
+// String implements fmt.Stringer.
+func (m ParityMode) String() string {
+	switch m {
+	case ParityNone:
+		return "none"
+	case ParityPerBlock:
+		return "per-block"
+	case ParityShared:
+		return "shared"
+	case ParityEmbedded:
+		return "embedded"
+	}
+	return "unknown"
+}
+
+// Scheme is a complete secure-memory configuration.
+type Scheme struct {
+	Name string
+	// Secure is false for the non-secure baseline (no metadata at all).
+	Secure bool
+	// Tree is the integrity-tree organization (ignored if !Secure).
+	Tree integrity.Geometry
+	// Isolated enables per-enclave trees and metadata-cache partitions
+	// (Section III-A).
+	Isolated bool
+	// UnpartitionedCache keeps the metadata cache shared even under
+	// Isolated — an ablation separating tree isolation from cache
+	// partitioning (the paper notes most benefit comes from the former,
+	// while partitioning is vital for leakage elimination).
+	UnpartitionedCache bool
+	// MACInECC places the MAC in the ECC bits of the DIMM (Synergy), so
+	// reads and writes carry the MAC for free; otherwise a separate MAC
+	// region and MAC cache are used (VAULT).
+	MACInECC bool
+	// Parity selects the error-correction organization.
+	Parity ParityMode
+	// ParityCached adds the coalescing parity write cache.
+	ParityCached bool
+	// ParityShare is the number of blocks per shared parity field (for
+	// ParityShared; ParityEmbedded takes it from the tree geometry).
+	ParityShare int
+	// ModelOverflow accounts local-counter overflow re-encryption
+	// penalties (used for the Morphable-counter studies of Fig 11).
+	ModelOverflow bool
+
+	// Cache capacities in KB, totals across all cores. Zero disables the
+	// respective cache.
+	MetaCacheKB   int
+	MACCacheKB    int
+	ParityCacheKB int
+}
+
+// scaled multiplies the paper's 4-core cache budget for other core counts.
+func scaled(kb4core, cores int) int { return kb4core * cores / 4 }
+
+// SchemeByName returns the named scheme configured for the given core
+// count, following the Section IV methodology: the total
+// security/reliability cache budget is 16 KB per core, split per scheme.
+//
+// Names: nonsecure, vault, itvault, synergy, itsynergy, itsynergy+pc,
+// sharedparity, sharedparity+pc, itesp, itesp4p, syn128, syn128iso,
+// itesp64, itesp128.
+func SchemeByName(name string, cores int) (Scheme, error) {
+	budget := scaled(64, cores) // 16 KB per core
+	half := budget / 2
+	switch name {
+	case "nonsecure":
+		return Scheme{Name: name}, nil
+	case "mee":
+		// SGX-MEE-like historical baseline: deep 8-ary tree, separate MAC
+		// region and MAC cache, conventional ECC in the 9th chip.
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.MEE(),
+			MetaCacheKB: half, MACCacheKB: half,
+		}, nil
+	case "vault":
+		// 32 KB counter/tree cache + 32 KB MAC cache (4-core).
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(),
+			MetaCacheKB: half, MACCacheKB: half,
+		}, nil
+	case "itvault":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(), Isolated: true,
+			MetaCacheKB: half, MACCacheKB: half,
+		}, nil
+	case "synergy":
+		// MAC in ECC; 64 KB unified counter/tree cache; uncached per-block
+		// parity written on every data write.
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+			Parity: ParityPerBlock, MetaCacheKB: budget,
+		}, nil
+	case "itsynergy":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+			Isolated: true, Parity: ParityPerBlock, MetaCacheKB: budget,
+		}, nil
+	case "itsynergy+pc":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+			Isolated: true, Parity: ParityPerBlock, ParityCached: true,
+			MetaCacheKB: half, ParityCacheKB: half,
+		}, nil
+	case "sharedparity":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+			Isolated: true, Parity: ParityShared, ParityShare: 16,
+			MetaCacheKB: budget,
+		}, nil
+	case "sharedparity+pc":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+			Isolated: true, Parity: ParityShared, ParityShare: 16, ParityCached: true,
+			MetaCacheKB: half, ParityCacheKB: half,
+		}, nil
+	case "itesp":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.ITESP(), MACInECC: true,
+			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget,
+		}, nil
+	case "itesp4p":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.ITESP4P(), MACInECC: true,
+			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget,
+		}, nil
+	case "syn128":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.SYN128(), MACInECC: true,
+			Parity: ParityPerBlock, MetaCacheKB: budget, ModelOverflow: true,
+		}, nil
+	case "syn128iso":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.SYN128(), MACInECC: true,
+			Isolated: true, Parity: ParityPerBlock, MetaCacheKB: budget, ModelOverflow: true,
+		}, nil
+	case "itesp64":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.ITESP64(), MACInECC: true,
+			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget, ModelOverflow: true,
+		}, nil
+	case "itesp128":
+		return Scheme{
+			Name: name, Secure: true, Tree: integrity.ITESP128(), MACInECC: true,
+			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget, ModelOverflow: true,
+		}, nil
+	}
+	return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// SchemeNames lists all selectable schemes in Figure 8 order followed by
+// the Morphable-counter configurations of Figure 11.
+func SchemeNames() []string {
+	return []string{
+		"nonsecure", "mee", "vault", "itvault", "synergy", "itsynergy",
+		"itsynergy+pc", "sharedparity", "sharedparity+pc", "itesp", "itesp4p",
+		"syn128", "syn128iso", "itesp64", "itesp128",
+	}
+}

@@ -1,0 +1,91 @@
+package covert
+
+import (
+	"math/rand"
+)
+
+// This file builds a complete attack on top of the leakage mechanism, as
+// Figure 5C sketches: a victim whose *memory intensity* depends on a secret
+// leaks that secret to a co-scheduled attacker through the shared integrity
+// tree. It corresponds to the paper's second 5C example — "executes a
+// memory-intensive loop for a duration that is a function of the secret" —
+// with the attacker decoding one secret bit per exchange.
+
+// AttackConfig parameterizes a secret-extraction run.
+type AttackConfig struct {
+	// BlocksPerBit is the number of blocks each side touches per exchange;
+	// higher improves fidelity at lower bandwidth (Fig 5A's trade-off).
+	BlocksPerBit int
+	// MetaCacheKB / EPCPages as in Config.
+	MetaCacheKB int
+	EPCPages    int
+	// Isolated applies the defense; extraction should then fail.
+	Isolated bool
+	Seed     int64
+}
+
+// DefaultAttackConfig returns a configuration that extracts reliably on the
+// shared tree.
+func DefaultAttackConfig(isolated bool) AttackConfig {
+	return AttackConfig{
+		BlocksPerBit: 256,
+		MetaCacheKB:  64,
+		EPCPages:     4096,
+		Isolated:     isolated,
+		Seed:         7,
+	}
+}
+
+// AttackResult reports an extraction attempt.
+type AttackResult struct {
+	Recovered []byte
+	// BitErrors counts wrong bits vs the true secret.
+	BitErrors int
+	// TotalBits is the secret length in bits.
+	TotalBits int
+}
+
+// Success reports full recovery.
+func (r AttackResult) Success() bool { return r.BitErrors == 0 }
+
+// ExtractSecret runs the Fig 5C attack: for every bit of secret, the victim
+// either executes a memory-intensive phase (bit 1) or computes quietly
+// (bit 0); the attacker then times its own accesses and thresholds against
+// a calibration measurement taken with a cooperating "1" and "0" preamble.
+func ExtractSecret(cfg AttackConfig, secret []byte) AttackResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	base := Config{
+		MetaCacheKB: cfg.MetaCacheKB,
+		EPCPages:    cfg.EPCPages,
+		Isolated:    cfg.Isolated,
+	}
+
+	// measure runs one exchange and returns the attacker's latency.
+	measure := func(bit bool) float64 {
+		m := newModel(base, rng)
+		return m.exchange(base, cfg.BlocksPerBit, bit).attacker
+	}
+
+	// Calibration preamble: the colluding victim sends a known 1 and 0.
+	lat1 := measure(true)
+	lat0 := measure(false)
+	threshold := (lat0 + lat1) / 2
+
+	res := AttackResult{TotalBits: len(secret) * 8}
+	res.Recovered = make([]byte, len(secret))
+	for byteIdx := range secret {
+		for bit := 0; bit < 8; bit++ {
+			trueBit := secret[byteIdx]>>uint(bit)&1 == 1
+			lat := measure(trueBit)
+			// Lower latency = shared nodes warmed = victim was active = 1.
+			guessed := lat < threshold
+			if guessed {
+				res.Recovered[byteIdx] |= 1 << uint(bit)
+			}
+			if guessed != trueBit {
+				res.BitErrors++
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,45 @@
+package covert
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtractSecretOverSharedTree(t *testing.T) {
+	secret := []byte("sk-live-4242")
+	res := ExtractSecret(DefaultAttackConfig(false), secret)
+	if !res.Success() {
+		t.Fatalf("extraction failed: %d/%d bit errors, got %q",
+			res.BitErrors, res.TotalBits, res.Recovered)
+	}
+	if !bytes.Equal(res.Recovered, secret) {
+		t.Fatalf("recovered %q, want %q", res.Recovered, secret)
+	}
+}
+
+func TestExtractSecretFailsUnderIsolation(t *testing.T) {
+	secret := []byte("sk-live-4242")
+	res := ExtractSecret(DefaultAttackConfig(true), secret)
+	// With isolated trees the latency signal vanishes; the attacker is
+	// reduced to (biased) guessing and must get a substantial fraction of
+	// bits wrong.
+	if res.BitErrors < res.TotalBits/8 {
+		t.Fatalf("isolation left only %d/%d bit errors — channel not closed",
+			res.BitErrors, res.TotalBits)
+	}
+}
+
+func TestExtractSecretDeterministic(t *testing.T) {
+	a := ExtractSecret(DefaultAttackConfig(false), []byte{0xA5})
+	b := ExtractSecret(DefaultAttackConfig(false), []byte{0xA5})
+	if a.BitErrors != b.BitErrors || !bytes.Equal(a.Recovered, b.Recovered) {
+		t.Fatal("same seed should reproduce the attack")
+	}
+}
+
+func TestExtractEmptySecret(t *testing.T) {
+	res := ExtractSecret(DefaultAttackConfig(false), nil)
+	if res.TotalBits != 0 || !res.Success() {
+		t.Fatal("empty secret should trivially succeed")
+	}
+}

@@ -1,0 +1,207 @@
+// Package covert reproduces the Section III-B covert-channel demonstration
+// (Figure 5): two colluding enclaves communicate through the *shared*
+// integrity tree and metadata cache. The victim transmits "1" by touching
+// many pages (warming tree nodes whose coverage spans both enclaves'
+// interleaved pages) or "0" by idling; the attacker then touches its own
+// pages and distinguishes the bit by the metadata-fetch latency. With
+// isolated trees and partitioned metadata caches (the paper's defense) the
+// two latency distributions converge and the channel closes.
+//
+// The model charges a fixed on-chip latency per access plus a DRAM-like
+// penalty per metadata node fetched, with absolute per-measurement jitter
+// standing in for timer noise — the same structure as the paper's
+// SGX-hardware experiment, where touching more blocks amortizes the jitter
+// and improves fidelity at the cost of bandwidth.
+package covert
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/integrity"
+	"repro/internal/mem"
+)
+
+// Config parameterizes the demonstration.
+type Config struct {
+	// BlockCounts is the X axis of Fig 5: blocks touched per measurement.
+	BlockCounts []int
+	// Trials per (blocks, bit) point; the paper uses 10.
+	Trials int
+	// MetaCacheKB is the metadata cache size (shared, or split into two
+	// partitions when Isolated).
+	MetaCacheKB int
+	// Isolated enables the defense: per-enclave trees and cache partitions.
+	Isolated bool
+	// EPCPages is the number of pages per enclave's data structure.
+	EPCPages int
+	Seed     int64
+}
+
+// DefaultConfig mirrors the paper's setup: measurements at 16..256 blocks,
+// 10 trials, a 64 KB metadata cache.
+func DefaultConfig(isolated bool) Config {
+	return Config{
+		BlockCounts: []int{16, 32, 64, 128, 256},
+		Trials:      10,
+		MetaCacheKB: 64,
+		Isolated:    isolated,
+		EPCPages:    4096,
+		Seed:        1,
+	}
+}
+
+// Point is one X-axis measurement: the attacker's observed latency ranges
+// when the victim transmits 0 (idle) and 1 (memory-intensive).
+type Point struct {
+	Blocks int
+	// Cycle ranges over Trials measurements.
+	Lat0Min, Lat0Max float64
+	Lat1Min, Lat1Max float64
+	// Distinguishable reports whether the ranges do not overlap — the
+	// condition for a reliable channel.
+	Distinguishable bool
+	// BandwidthBps estimates the channel bandwidth at this fidelity
+	// (bits/s at the paper's 3.4 GHz clock) when distinguishable.
+	BandwidthBps float64
+}
+
+const (
+	hitCycles   = 60.0  // on-chip metadata hit
+	fetchCycles = 150.0 // one metadata node fetch from DRAM
+	clockHz     = 3.4e9
+	// noiseCycles is the absolute per-measurement jitter (interrupts,
+	// refresh, timer granularity). Because it does not scale with the
+	// number of blocks touched, touching more blocks improves fidelity —
+	// the Fig 5A trade-off between reliability and bandwidth.
+	noiseCycles = 900.0
+)
+
+// channelModel holds the shared-resource state of one experiment instance.
+type channelModel struct {
+	meta     *cache.Cache
+	trees    []*integrity.Tree // [attacker, victim] or one shared tree
+	isolated bool
+	rng      *rand.Rand
+}
+
+func newModel(cfg Config, rng *rand.Rand) *channelModel {
+	parts := 1
+	if cfg.Isolated {
+		parts = 2
+	}
+	m := &channelModel{
+		meta:     cache.New(cache.DefaultMetadata(cfg.MetaCacheKB, parts)),
+		isolated: cfg.Isolated,
+		rng:      rng,
+	}
+	pagesTotal := uint64(cfg.EPCPages) * 3 // attacker A + victim V + dummy D
+	blocks := pagesTotal * mem.BlocksPage
+	if cfg.Isolated {
+		m.trees = []*integrity.Tree{
+			integrity.NewTree(integrity.VAULT(), blocks, 0),
+			integrity.NewTree(integrity.VAULT(), blocks, mem.PhysAddr(blocks*mem.BlockSize)),
+		}
+	} else {
+		m.trees = []*integrity.Tree{integrity.NewTree(integrity.VAULT(), blocks*2, 0)}
+	}
+	return m
+}
+
+// pageBlock returns the tree-local block index of (enclave, page, block).
+// In the shared baseline the two enclaves' pages interleave (attacker even,
+// victim odd); under isolation each enclave has a dense private index
+// space.
+func (m *channelModel) pageBlock(enclave int, page, block uint64) uint64 {
+	if m.isolated {
+		return page*mem.BlocksPage + block
+	}
+	return (page*2+uint64(enclave))*mem.BlocksPage + block
+}
+
+// access walks the tree for one block access and returns its latency.
+func (m *channelModel) access(enclave int, page, block uint64) float64 {
+	tree, part := m.trees[0], 0
+	if m.isolated {
+		tree, part = m.trees[enclave], enclave
+	}
+	local := m.pageBlock(enclave, page, block)
+	lat := hitCycles
+	walk := tree.Walk(local, nil)
+	for lvl, addr := range walk {
+		markDirty := false
+		if _, hit := m.meta.Lookup(uint64(addr), part, markDirty); hit {
+			break
+		}
+		m.meta.InsertAux(uint64(addr), part, false, uint64(lvl))
+		lat += fetchCycles
+	}
+	return lat
+}
+
+// Run executes the experiment and returns one Point per block count.
+func Run(cfg Config) []Point {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Point
+	for _, n := range cfg.BlockCounts {
+		p := Point{Blocks: n,
+			Lat0Min: math.Inf(1), Lat1Min: math.Inf(1),
+		}
+		var sumCycles float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			for bit := 0; bit <= 1; bit++ {
+				m := newModel(cfg, rng)
+				cycles := m.exchange(cfg, n, bit == 1)
+				sumCycles += cycles.total
+				if bit == 0 {
+					p.Lat0Min = math.Min(p.Lat0Min, cycles.attacker)
+					p.Lat0Max = math.Max(p.Lat0Max, cycles.attacker)
+				} else {
+					p.Lat1Min = math.Min(p.Lat1Min, cycles.attacker)
+					p.Lat1Max = math.Max(p.Lat1Max, cycles.attacker)
+				}
+			}
+		}
+		p.Distinguishable = p.Lat1Max < p.Lat0Min || p.Lat0Max < p.Lat1Min
+		if p.Distinguishable {
+			meanExchange := sumCycles / float64(2*cfg.Trials)
+			p.BandwidthBps = clockHz / meanExchange
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+type exchangeCycles struct {
+	attacker float64 // the attacker's measurement phase only
+	total    float64 // full exchange (flush + victim + attacker)
+}
+
+// exchange runs one protocol round: attacker flushes the metadata cache
+// with dummy structure D, the victim transmits the bit, and the attacker
+// measures its own accesses.
+func (m *channelModel) exchange(cfg Config, nblocks int, bit bool) exchangeCycles {
+	var total float64
+	// Flush: touch enough distinct pages of D to displace the cache.
+	flushPages := uint64(m.meta.NumLines()) * 2
+	for p := uint64(0); p < flushPages; p++ {
+		total += m.access(0, uint64(cfg.EPCPages)+p%uint64(cfg.EPCPages), p%mem.BlocksPage)
+	}
+	// Victim transmits: touch nblocks spread across pages (bit=1) or idle.
+	if bit {
+		for i := 0; i < nblocks; i++ {
+			total += m.access(1, uint64(i)%uint64(cfg.EPCPages), uint64(i)/uint64(cfg.EPCPages)%mem.BlocksPage)
+		}
+	}
+	// Attacker measures accesses to its structure A on the same pages; the
+	// measurement carries absolute jitter independent of nblocks.
+	attacker := m.rng.Float64() * noiseCycles
+	for i := 0; i < nblocks; i++ {
+		attacker += m.access(0, uint64(i)%uint64(cfg.EPCPages), uint64(i)/uint64(cfg.EPCPages)%mem.BlocksPage)
+	}
+	return exchangeCycles{attacker: attacker, total: total + attacker}
+}

@@ -1,0 +1,73 @@
+package covert
+
+import "testing"
+
+func TestSharedTreeChannelOpens(t *testing.T) {
+	pts := Run(DefaultConfig(false))
+	if len(pts) == 0 {
+		t.Fatal("no measurement points")
+	}
+	// At the largest block count the channel must be reliable: the bit-1
+	// (victim active) latency range sits strictly below the bit-0 range.
+	last := pts[len(pts)-1]
+	if !last.Distinguishable {
+		t.Fatalf("shared tree at %d blocks: ranges overlap (0:[%.0f,%.0f] 1:[%.0f,%.0f])",
+			last.Blocks, last.Lat0Min, last.Lat0Max, last.Lat1Min, last.Lat1Max)
+	}
+	if last.Lat1Max >= last.Lat0Min {
+		t.Fatal("victim activity should LOWER the attacker's latency (shared nodes warmed)")
+	}
+	if last.BandwidthBps <= 0 {
+		t.Fatal("reliable channel must report bandwidth")
+	}
+}
+
+func TestIsolationClosesChannel(t *testing.T) {
+	pts := Run(DefaultConfig(true))
+	for _, p := range pts {
+		if p.Distinguishable {
+			t.Fatalf("isolated trees at %d blocks: channel still distinguishable "+
+				"(0:[%.0f,%.0f] 1:[%.0f,%.0f])", p.Blocks, p.Lat0Min, p.Lat0Max, p.Lat1Min, p.Lat1Max)
+		}
+	}
+}
+
+func TestFidelityImprovesWithBlocks(t *testing.T) {
+	pts := Run(DefaultConfig(false))
+	// Separation (gap between ranges, relative to latency) should grow
+	// with the number of blocks touched, as in Fig 5A.
+	sep := func(p Point) float64 {
+		return (p.Lat0Min - p.Lat1Max) / p.Lat0Max
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if sep(last) <= sep(first) {
+		t.Fatalf("separation did not improve: %d blocks %.3f vs %d blocks %.3f",
+			first.Blocks, sep(first), last.Blocks, sep(last))
+	}
+}
+
+func TestBandwidthOrderOfMagnitude(t *testing.T) {
+	// The paper measures ~18 Kbps at 256 blocks on real SGX hardware; the
+	// model should land within two orders of magnitude.
+	pts := Run(DefaultConfig(false))
+	last := pts[len(pts)-1]
+	if last.Blocks != 256 {
+		t.Skip("default config changed")
+	}
+	if !last.Distinguishable {
+		t.Fatal("channel must be reliable at 256 blocks")
+	}
+	if last.BandwidthBps < 180 || last.BandwidthBps > 1.8e6 {
+		t.Fatalf("bandwidth %.0f bps implausibly far from the paper's 18 Kbps", last.BandwidthBps)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := Run(DefaultConfig(false))
+	b := Run(DefaultConfig(false))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce identical measurements")
+		}
+	}
+}

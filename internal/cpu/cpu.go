@@ -1,0 +1,204 @@
+// Package cpu implements the USIMM-style trace-driven core front end of the
+// paper's methodology (Table III): a 64-entry reorder buffer retiring up to
+// 4 instructions per CPU cycle. Memory reads block retirement when they
+// reach the ROB head until their data returns; write-backs are posted to
+// the memory controller and retire immediately. The model captures
+// memory-level parallelism: independent misses within the ROB window
+// overlap in the memory system.
+package cpu
+
+import (
+	"math"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config sets the core's pipeline parameters.
+type Config struct {
+	ROBSize int // instruction window (Table III: 64)
+	Width   int // retire width per CPU cycle (Table III: 4)
+}
+
+// DefaultConfig returns the Table III core.
+func DefaultConfig() Config { return Config{ROBSize: 64, Width: 4} }
+
+// IssueFunc presents one memory operation to the memory hierarchy. For
+// reads it returns a completion token; accepted=false indicates
+// backpressure (retry next cycle).
+type IssueFunc func(core int, rec trace.Record) (token uint64, accepted bool, err error)
+
+// Core simulates one trace-driven core.
+type Core struct {
+	id  int
+	cfg Config
+	src trace.Source
+
+	retired uint64 // instructions retired so far
+
+	// pending is the next memory operation not yet accepted by the memory
+	// system; pendingIdx is its instruction index in the dynamic stream.
+	pending    trace.Record
+	pendingIdx uint64
+	havePend   bool
+
+	// Outstanding reads, in issue order. Because reads issue with
+	// monotonically increasing instruction indices, the oldest incomplete
+	// entry bounds retirement; completed entries are marked and popped
+	// lazily, giving O(1) per-cycle bookkeeping.
+	flights  []*flight
+	byToken  map[uint64]*flight
+	nFlights int // incomplete count
+
+	opsIssued uint64
+	opsTarget uint64
+	exhausted bool   // trace source ran dry before the target
+	lastIdx   uint64 // instruction index just past the last issued op
+
+	done        bool
+	finishCycle uint64
+
+	// Stats.
+	Reads       stats.Counter
+	Writes      stats.Counter
+	StallCycles stats.Counter // cycles with zero retirement while active
+}
+
+// NewCore builds a core that consumes opsTarget memory operations from src.
+func NewCore(id int, cfg Config, src trace.Source, opsTarget uint64) *Core {
+	if cfg.ROBSize <= 0 || cfg.Width <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Core{
+		id:        id,
+		cfg:       cfg,
+		src:       src,
+		opsTarget: opsTarget,
+		byToken:   make(map[uint64]*flight),
+	}
+}
+
+// flight is one outstanding read.
+type flight struct {
+	idx  uint64
+	done bool
+}
+
+// Done reports whether the core has issued and completed all operations.
+func (c *Core) Done() bool { return c.done }
+
+// FinishCycle returns the CPU cycle at which the core completed (valid once
+// Done).
+func (c *Core) FinishCycle() uint64 { return c.finishCycle }
+
+// Retired returns instructions retired so far.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// OpsIssued returns memory operations issued so far.
+func (c *Core) OpsIssued() uint64 { return c.opsIssued }
+
+// OnComplete delivers a finished read token.
+func (c *Core) OnComplete(token uint64) {
+	if f := c.byToken[token]; f != nil {
+		f.done = true
+		delete(c.byToken, token)
+		c.nFlights--
+	}
+}
+
+// oldestIncomplete returns the instruction index of the oldest outstanding
+// read, popping completed heads.
+func (c *Core) oldestIncomplete() (uint64, bool) {
+	for len(c.flights) > 0 && c.flights[0].done {
+		c.flights = c.flights[1:]
+	}
+	if len(c.flights) == 0 {
+		return 0, false
+	}
+	return c.flights[0].idx, true
+}
+
+// loadPending pulls the next memory op from the trace, assigning its
+// instruction index (after Gap non-memory instructions).
+func (c *Core) loadPending() {
+	if c.havePend || c.opsIssued >= c.opsTarget || c.exhausted {
+		return
+	}
+	rec, ok := c.src.Next()
+	if !ok {
+		c.exhausted = true
+		return
+	}
+	c.pending = rec
+	// The op executes after its gap of non-memory instructions, relative
+	// to the previously issued op's position.
+	c.pendingIdx = c.issueBase() + uint64(rec.Gap)
+	c.havePend = true
+}
+
+// issueBase returns the instruction index just past the last issued op.
+func (c *Core) issueBase() uint64 { return c.lastIdx }
+
+// Cycle advances the core one CPU cycle: it issues ready memory operations
+// (bounded by the ROB window and issue width) and retires instructions.
+func (c *Core) Cycle(now uint64, issue IssueFunc) error {
+	if c.done {
+		return nil
+	}
+	// Issue: ops whose position fits inside the ROB window.
+	for issued := 0; issued < c.cfg.Width; issued++ {
+		c.loadPending()
+		if !c.havePend {
+			break
+		}
+		if c.pendingIdx >= c.retired+uint64(c.cfg.ROBSize) {
+			break // op hasn't entered the ROB yet
+		}
+		token, accepted, err := issue(c.id, c.pending)
+		if err != nil {
+			return err
+		}
+		if !accepted {
+			break // memory-system backpressure
+		}
+		if c.pending.Type == mem.Read {
+			f := &flight{idx: c.pendingIdx}
+			c.flights = append(c.flights, f)
+			c.byToken[token] = f
+			c.nFlights++
+			c.Reads.Inc()
+		} else {
+			c.Writes.Inc()
+		}
+		c.opsIssued++
+		c.lastIdx = c.pendingIdx + 1
+		c.havePend = false
+	}
+
+	// Retire: up to Width instructions, not past the oldest incomplete
+	// read and not past an unissued (stalled) memory op.
+	limit := c.retired + uint64(c.cfg.Width)
+	bound := uint64(math.MaxUint64)
+	if idx, ok := c.oldestIncomplete(); ok {
+		bound = idx
+	}
+	if c.havePend && c.pendingIdx < bound {
+		bound = c.pendingIdx
+	}
+	if limit > bound {
+		limit = bound
+	}
+	if limit == c.retired {
+		c.StallCycles.Inc()
+	}
+	c.retired = limit
+
+	if c.nFlights == 0 {
+		if c.opsIssued >= c.opsTarget || (c.exhausted && !c.havePend) {
+			c.done = true
+			c.finishCycle = now
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// fakeMemory completes reads a fixed latency after issue.
+type fakeMemory struct {
+	latency   uint64
+	nextToken uint64
+	inflight  map[uint64]uint64 // token -> completion cycle
+	reject    bool
+	issued    []trace.Record
+}
+
+func newFakeMemory(latency uint64) *fakeMemory {
+	return &fakeMemory{latency: latency, inflight: map[uint64]uint64{}}
+}
+
+func (f *fakeMemory) issue(now uint64) IssueFunc {
+	return func(core int, rec trace.Record) (uint64, bool, error) {
+		if f.reject {
+			return 0, false, nil
+		}
+		f.issued = append(f.issued, rec)
+		if rec.Type == mem.Write {
+			return 0, true, nil
+		}
+		f.nextToken++
+		f.inflight[f.nextToken] = now + f.latency
+		return f.nextToken, true, nil
+	}
+}
+
+func (f *fakeMemory) deliver(now uint64, c *Core) {
+	for tok, done := range f.inflight {
+		if done <= now {
+			c.OnComplete(tok)
+			delete(f.inflight, tok)
+		}
+	}
+}
+
+func run(t *testing.T, c *Core, f *fakeMemory, maxCycles uint64) uint64 {
+	t.Helper()
+	for now := uint64(1); now <= maxCycles; now++ {
+		f.deliver(now, c)
+		if err := c.Cycle(now, f.issue(now)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Done() {
+			return now
+		}
+	}
+	t.Fatalf("core not done after %d cycles (issued=%d)", maxCycles, c.OpsIssued())
+	return 0
+}
+
+func recs(n int, gap uint32, typ mem.AccessType) []trace.Record {
+	out := make([]trace.Record, n)
+	for i := range out {
+		out[i] = trace.Record{Gap: gap, Type: typ, VAddr: mem.VirtAddr(i * 64)}
+	}
+	return out
+}
+
+func TestComputeBoundRetirement(t *testing.T) {
+	// 10 ops, 400-instruction gaps, instant memory: time is dominated by
+	// retiring ~4000 instructions at width 4 = ~1000 cycles.
+	src := trace.NewSliceSource(recs(10, 400, mem.Read))
+	c := NewCore(0, DefaultConfig(), src, 10)
+	f := newFakeMemory(1)
+	finish := run(t, c, f, 10_000)
+	if finish < 900 || finish > 1200 {
+		t.Fatalf("finish = %d, want ~1000 (compute bound)", finish)
+	}
+}
+
+func TestMemoryBoundStalls(t *testing.T) {
+	// Zero gaps, 100-cycle memory: each read blocks the ROB head; with
+	// ROB 64 and all ops independent, ~64 overlap.
+	src := trace.NewSliceSource(recs(64, 0, mem.Read))
+	c := NewCore(0, DefaultConfig(), src, 64)
+	f := newFakeMemory(100)
+	finish := run(t, c, f, 10_000)
+	// All 64 fit in the ROB: ~one latency total, not 64x.
+	if finish > 300 {
+		t.Fatalf("finish = %d; reads did not overlap (MLP broken)", finish)
+	}
+	if c.StallCycles.Value() == 0 {
+		t.Fatal("memory-bound run should record stalls")
+	}
+}
+
+func TestMLPBoundedByROB(t *testing.T) {
+	// 200 zero-gap reads with ROB 8: at most 8 overlap, so time is about
+	// (200/8) * latency.
+	src := trace.NewSliceSource(recs(200, 0, mem.Read))
+	c := NewCore(0, Config{ROBSize: 8, Width: 4}, src, 200)
+	f := newFakeMemory(50)
+	finish := run(t, c, f, 100_000)
+	ideal := uint64(200 / 8 * 50)
+	if finish < ideal {
+		t.Fatalf("finish %d beats the ROB-limited ideal %d", finish, ideal)
+	}
+	if finish > ideal*2 {
+		t.Fatalf("finish %d far above ROB-limited ideal %d", finish, ideal)
+	}
+}
+
+func TestWritesArePosted(t *testing.T) {
+	// Writes never block retirement: zero-gap writes with huge latency
+	// memory should finish almost immediately.
+	src := trace.NewSliceSource(recs(100, 0, mem.Write))
+	c := NewCore(0, DefaultConfig(), src, 100)
+	f := newFakeMemory(10_000)
+	finish := run(t, c, f, 5_000)
+	if finish > 200 {
+		t.Fatalf("posted writes took %d cycles", finish)
+	}
+}
+
+func TestBackpressureBlocksIssue(t *testing.T) {
+	src := trace.NewSliceSource(recs(4, 0, mem.Read))
+	c := NewCore(0, DefaultConfig(), src, 4)
+	f := newFakeMemory(5)
+	f.reject = true
+	for now := uint64(1); now <= 50; now++ {
+		f.deliver(now, c)
+		if err := c.Cycle(now, f.issue(now)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.OpsIssued() != 0 {
+		t.Fatal("rejected ops must not count as issued")
+	}
+	f.reject = false
+	run(t, c, f, 1_000)
+	if c.OpsIssued() != 4 {
+		t.Fatalf("issued %d ops after backpressure lifted, want 4", c.OpsIssued())
+	}
+}
+
+func TestTraceExhaustion(t *testing.T) {
+	// Target larger than the trace: the core should still finish.
+	src := trace.NewSliceSource(recs(5, 1, mem.Read))
+	c := NewCore(0, DefaultConfig(), src, 100)
+	f := newFakeMemory(3)
+	run(t, c, f, 1_000)
+	if c.OpsIssued() != 5 {
+		t.Fatalf("issued %d, want all 5 available ops", c.OpsIssued())
+	}
+}
+
+func TestReadWriteCounts(t *testing.T) {
+	rs := append(recs(6, 1, mem.Read), recs(4, 1, mem.Write)...)
+	c := NewCore(0, DefaultConfig(), trace.NewSliceSource(rs), 10)
+	f := newFakeMemory(2)
+	run(t, c, f, 1_000)
+	if c.Reads.Value() != 6 || c.Writes.Value() != 4 {
+		t.Fatalf("reads/writes = %d/%d, want 6/4", c.Reads.Value(), c.Writes.Value())
+	}
+}
+
+func TestRetiredMonotonic(t *testing.T) {
+	src := trace.NewSliceSource(recs(50, 3, mem.Read))
+	c := NewCore(0, DefaultConfig(), src, 50)
+	f := newFakeMemory(7)
+	var prev uint64
+	for now := uint64(1); now < 2_000 && !c.Done(); now++ {
+		f.deliver(now, c)
+		if err := c.Cycle(now, f.issue(now)); err != nil {
+			t.Fatal(err)
+		}
+		if c.Retired() < prev {
+			t.Fatal("retired count went backwards")
+		}
+		if c.Retired() > prev+4 {
+			t.Fatalf("retired %d instructions in one cycle (width 4)", c.Retired()-prev)
+		}
+		prev = c.Retired()
+	}
+	if !c.Done() {
+		t.Fatal("core did not finish")
+	}
+}
+
+func TestZeroConfigUsesDefaults(t *testing.T) {
+	c := NewCore(0, Config{}, trace.NewSliceSource(recs(1, 0, mem.Read)), 1)
+	f := newFakeMemory(1)
+	run(t, c, f, 100)
+}

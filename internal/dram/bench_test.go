@@ -1,0 +1,66 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/addrmap"
+	"repro/internal/mem"
+)
+
+// BenchmarkStreamingReads measures simulator throughput (DRAM cycles and
+// transactions per second) under a saturating row-hit read stream.
+func BenchmarkStreamingReads(b *testing.B) {
+	m := New(DefaultConfig(1))
+	g := m.Config().Geom
+	issued := 0
+	completed := 0
+	for completed < b.N {
+		for issued < b.N+64 && m.CanEnqueue(0, mem.Read) {
+			m.Enqueue(&Txn{Op: mem.Op{Type: mem.Read}, Loc: addrmap.Location{
+				Rank:   issued % g.RanksPerChan,
+				Bank:   (issued / g.RanksPerChan) % g.BanksPerRank,
+				Column: issued % g.ColumnsPerRow,
+			}})
+			issued++
+		}
+		completed += len(m.Tick())
+	}
+}
+
+// BenchmarkRandomMix measures throughput under a random read/write mix with
+// frequent row conflicts — the scheduler's hard case.
+func BenchmarkRandomMix(b *testing.B) {
+	m := New(DefaultConfig(1))
+	g := m.Config().Geom
+	state := uint64(88172645463325252)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	issued, completed := 0, 0
+	for completed < b.N {
+		t := mem.Read
+		if next(100) < 40 {
+			t = mem.Write
+		}
+		if m.CanEnqueue(0, t) && issued < b.N+64 {
+			m.Enqueue(&Txn{Op: mem.Op{Type: t}, Loc: addrmap.Location{
+				Rank: next(g.RanksPerChan), Bank: next(g.BanksPerRank),
+				Row: next(g.RowsPerBank), Column: next(g.ColumnsPerRow),
+			}})
+			issued++
+		}
+		completed += len(m.Tick())
+	}
+}
+
+// BenchmarkIdleTick measures the per-cycle cost of an idle memory system
+// (refresh bookkeeping only).
+func BenchmarkIdleTick(b *testing.B) {
+	m := New(DefaultConfig(2))
+	for i := 0; i < b.N; i++ {
+		m.Tick()
+	}
+}

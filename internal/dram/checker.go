@@ -1,0 +1,181 @@
+package dram
+
+import "fmt"
+
+// Checker is a protocol monitor that validates the memory model's command
+// stream against JEDEC timing invariants as the simulation runs. It is used
+// by the test suite to property-check the scheduler under random traffic;
+// production runs leave it detached (zero overhead).
+//
+// Violations are collected rather than panicking so a single run can report
+// every broken constraint.
+type Checker struct {
+	tm   Timing
+	geom struct{ ranks, banks int }
+
+	banks  [][]checkerBank // [rank][bank]
+	ranks  []checkerRank
+	busEnd uint64 // end of the last data burst
+	lastR  int
+	lastWr bool
+	haveTx bool
+
+	Violations []string
+}
+
+type checkerBank struct {
+	open    bool
+	row     int
+	actAt   uint64
+	lastAct uint64
+	preAt   uint64
+	// earliest allowed cycles derived from observed commands
+	colReadyAt uint64
+	preReadyAt uint64
+	actReadyAt uint64
+	seenAct    bool
+	seenPre    bool
+}
+
+type checkerRank struct {
+	acts     []uint64 // ACT issue history (pruned to tFAW window)
+	wtrUntil uint64
+	refUntil uint64
+}
+
+// NewChecker builds a monitor for the given timing and geometry.
+func NewChecker(tm Timing, ranks, banks int) *Checker {
+	c := &Checker{tm: tm, lastR: -1}
+	c.geom.ranks, c.geom.banks = ranks, banks
+	c.banks = make([][]checkerBank, ranks)
+	for r := range c.banks {
+		c.banks[r] = make([]checkerBank, banks)
+	}
+	c.ranks = make([]checkerRank, ranks)
+	return c
+}
+
+func (c *Checker) violate(format string, args ...any) {
+	c.Violations = append(c.Violations, fmt.Sprintf(format, args...))
+}
+
+// OnActivate records an ACTIVATE command at cycle now.
+func (c *Checker) OnActivate(now uint64, rank, bank, row int) {
+	rk := &c.ranks[rank]
+	bk := &c.banks[rank][bank]
+	if bk.open {
+		c.violate("cycle %d: ACT to open bank r%d b%d", now, rank, bank)
+	}
+	if bk.seenAct && now < bk.lastAct+c.tm.TRC {
+		c.violate("cycle %d: tRC violation r%d b%d (last ACT %d)", now, rank, bank, bk.lastAct)
+	}
+	if bk.seenPre && now < bk.actReadyAt {
+		c.violate("cycle %d: tRP violation r%d b%d (ready %d)", now, rank, bank, bk.actReadyAt)
+	}
+	if now < rk.refUntil {
+		c.violate("cycle %d: ACT during refresh r%d", now, rank)
+	}
+	// tRRD: nearest prior ACT in rank.
+	for _, t := range rk.acts {
+		if now > t && now < t+c.tm.TRRD {
+			c.violate("cycle %d: tRRD violation r%d (prior ACT %d)", now, rank, t)
+		}
+	}
+	// tFAW: at most 4 ACTs in any tFAW window.
+	cnt := 1
+	for _, t := range rk.acts {
+		if now < t+c.tm.TFAW {
+			cnt++
+		}
+	}
+	if cnt > 4 {
+		c.violate("cycle %d: tFAW violation r%d (%d ACTs in window)", now, rank, cnt)
+	}
+	rk.acts = append(rk.acts, now)
+	if len(rk.acts) > 8 {
+		rk.acts = rk.acts[len(rk.acts)-8:]
+	}
+	bk.open = true
+	bk.row = row
+	bk.lastAct = now
+	bk.seenAct = true
+	bk.colReadyAt = now + c.tm.TRCD
+	bk.preReadyAt = now + c.tm.TRAS
+}
+
+// OnPrecharge records a PRECHARGE at cycle now.
+func (c *Checker) OnPrecharge(now uint64, rank, bank int) {
+	bk := &c.banks[rank][bank]
+	if !bk.open {
+		c.violate("cycle %d: PRE to closed bank r%d b%d", now, rank, bank)
+	}
+	if now < bk.preReadyAt {
+		c.violate("cycle %d: PRE before tRAS/tWR/tRTP r%d b%d (ready %d)", now, rank, bank, bk.preReadyAt)
+	}
+	bk.open = false
+	bk.seenPre = true
+	bk.actReadyAt = now + c.tm.TRP
+}
+
+// OnColumn records a RD or WR column command at cycle now.
+func (c *Checker) OnColumn(now uint64, rank, bank, row int, isWrite bool) {
+	rk := &c.ranks[rank]
+	bk := &c.banks[rank][bank]
+	if !bk.open || bk.row != row {
+		c.violate("cycle %d: column cmd to wrong/closed row r%d b%d (open=%v row=%d want %d)",
+			now, rank, bank, bk.open, bk.row, row)
+	}
+	if now < bk.colReadyAt {
+		c.violate("cycle %d: tRCD/tCCD violation r%d b%d (ready %d)", now, rank, bank, bk.colReadyAt)
+	}
+	if now < rk.refUntil {
+		c.violate("cycle %d: column cmd during refresh r%d", now, rank)
+	}
+	var burstStart uint64
+	if isWrite {
+		burstStart = now + c.tm.TCWD
+	} else {
+		burstStart = now + c.tm.TCAS
+		if now < rk.wtrUntil {
+			c.violate("cycle %d: tWTR violation r%d (until %d)", now, rank, rk.wtrUntil)
+		}
+	}
+	// Data bus: bursts must not overlap, and rank switches need tRTRS.
+	if c.haveTx {
+		if burstStart < c.busEnd {
+			c.violate("cycle %d: data bus overlap (burst %d < bus end %d)", now, burstStart, c.busEnd)
+		} else if c.lastR != rank && burstStart < c.busEnd+c.tm.TRTRS {
+			c.violate("cycle %d: tRTRS violation (rank %d -> %d)", now, c.lastR, rank)
+		}
+	}
+	c.busEnd = burstStart + c.tm.TBurst
+	c.lastR = rank
+	c.lastWr = isWrite
+	c.haveTx = true
+	bk.colReadyAt = now + c.tm.TCCD
+	if isWrite {
+		if pre := burstStart + c.tm.TBurst + c.tm.TWR; pre > bk.preReadyAt {
+			bk.preReadyAt = pre
+		}
+		rk.wtrUntil = burstStart + c.tm.TBurst + c.tm.TWTR
+	} else if pre := now + c.tm.TRTP; pre > bk.preReadyAt {
+		bk.preReadyAt = pre
+	}
+}
+
+// OnRefresh records a REF command at cycle now.
+func (c *Checker) OnRefresh(now uint64, rank int) {
+	rk := &c.ranks[rank]
+	for b := range c.banks[rank] {
+		if c.banks[rank][b].open {
+			c.violate("cycle %d: REF with open bank r%d b%d", now, rank, b)
+		}
+	}
+	if now < rk.refUntil {
+		c.violate("cycle %d: REF during refresh r%d", now, rank)
+	}
+	rk.refUntil = now + c.tm.TRFC
+}
+
+// Ok reports whether no violations were observed.
+func (c *Checker) Ok() bool { return len(c.Violations) == 0 }

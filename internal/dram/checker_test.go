@@ -1,0 +1,151 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/addrmap"
+	"repro/internal/mem"
+)
+
+// TestSchedulerProtocolCompliance drives the memory model with heavy random
+// traffic while the protocol checker validates every command against the
+// JEDEC timing invariants — the model's strongest correctness property.
+func TestSchedulerProtocolCompliance(t *testing.T) {
+	cfg := Config{
+		Timing: DDR3_1600(),
+		Geom:   addrmap.Geometry{Channels: 1, RanksPerChan: 4, BanksPerRank: 4, RowsPerBank: 32, ColumnsPerRow: 16},
+		ReadQ:  16, WriteQ: 16, HighWM: 12, LowWM: 4,
+	}
+	m := New(cfg)
+	checkers := m.AttachCheckers()
+	rng := rand.New(rand.NewSource(11))
+
+	const total = 20_000
+	issued, completed := 0, 0
+	for completed < total {
+		// Burst random traffic with random gaps.
+		for i := 0; i < rng.Intn(4) && issued < total; i++ {
+			typ := mem.Read
+			if rng.Intn(100) < 40 {
+				typ = mem.Write
+			}
+			if !m.CanEnqueue(0, typ) {
+				break
+			}
+			m.Enqueue(&Txn{
+				Op: mem.Op{Type: typ},
+				Loc: addrmap.Location{
+					Rank: rng.Intn(4), Bank: rng.Intn(4),
+					Row: rng.Intn(32), Column: rng.Intn(16),
+				},
+			})
+			issued++
+		}
+		completed += len(m.Tick())
+		if m.Now() > 100_000_000 {
+			t.Fatal("traffic did not complete")
+		}
+	}
+	for i, c := range checkers {
+		if !c.Ok() {
+			max := len(c.Violations)
+			if max > 10 {
+				max = 10
+			}
+			t.Fatalf("channel %d: %d protocol violations, first %d:\n%v",
+				i, len(c.Violations), max, c.Violations[:max])
+		}
+	}
+}
+
+// TestCheckerDetectsViolations sanity-checks the monitor itself by feeding
+// it illegal command sequences.
+func TestCheckerDetectsViolations(t *testing.T) {
+	tm := DDR3_1600()
+	mk := func() *Checker { return NewChecker(tm, 2, 2) }
+
+	c := mk()
+	c.OnColumn(5, 0, 0, 3, false) // column to a closed bank
+	if c.Ok() {
+		t.Error("column to closed bank not flagged")
+	}
+
+	c = mk()
+	c.OnActivate(0, 0, 0, 1)
+	c.OnColumn(3, 0, 0, 1, false) // before tRCD (11)
+	if c.Ok() {
+		t.Error("tRCD violation not flagged")
+	}
+
+	c = mk()
+	c.OnActivate(0, 0, 0, 1)
+	c.OnActivate(2, 0, 1, 1) // same rank before tRRD (5)
+	if c.Ok() {
+		t.Error("tRRD violation not flagged")
+	}
+
+	c = mk()
+	c.OnActivate(0, 0, 0, 1)
+	c.OnPrecharge(5, 0, 0) // before tRAS (28)
+	if c.Ok() {
+		t.Error("tRAS violation not flagged")
+	}
+
+	c = mk()
+	c.OnActivate(0, 0, 0, 1)
+	c.OnActivate(100, 0, 0, 2) // re-ACT open bank
+	if c.Ok() {
+		t.Error("double ACT not flagged")
+	}
+
+	// A legal sequence passes.
+	c = mk()
+	c.OnActivate(0, 0, 0, 1)
+	c.OnColumn(11, 0, 0, 1, false)
+	c.OnColumn(15, 0, 0, 1, false)
+	c.OnPrecharge(50, 0, 0)
+	c.OnActivate(61, 0, 0, 2)
+	if !c.Ok() {
+		t.Errorf("legal sequence flagged: %v", c.Violations)
+	}
+}
+
+// TestCheckerBusOverlap verifies data-bus conflict detection.
+func TestCheckerBusOverlap(t *testing.T) {
+	tm := DDR3_1600()
+	c := NewChecker(tm, 2, 2)
+	c.OnActivate(0, 0, 0, 1)
+	c.OnActivate(5, 1, 0, 1)
+	c.OnColumn(16, 0, 0, 1, false)
+	// Bursts: first occupies [27,31); issuing another read on the other
+	// rank at 17 would burst at 28 — overlap.
+	c.OnColumn(17, 1, 0, 1, false)
+	if c.Ok() {
+		t.Error("bus overlap not flagged")
+	}
+}
+
+// TestFullConfigCompliance runs the Table III configuration (16 ranks) under
+// streaming traffic with the checker attached.
+func TestFullConfigCompliance(t *testing.T) {
+	m := New(DefaultConfig(1))
+	checkers := m.AttachCheckers()
+	g := m.Config().Geom
+	issued, completed := 0, 0
+	const total = 5_000
+	for completed < total {
+		if issued < total && m.CanEnqueue(0, mem.Read) {
+			m.Enqueue(&Txn{Op: mem.Op{Type: mem.Read}, Loc: addrmap.Location{
+				Rank:   issued % g.RanksPerChan,
+				Column: issued % g.ColumnsPerRow,
+				Row:    (issued / 512) % g.RowsPerBank,
+			}})
+			issued++
+		}
+		completed += len(m.Tick())
+	}
+	if !checkers[0].Ok() {
+		t.Fatalf("violations: %v", checkers[0].Violations[:min(5, len(checkers[0].Violations))])
+	}
+}

@@ -1,0 +1,557 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// SchedPolicy selects the memory-controller scheduling algorithm.
+type SchedPolicy uint8
+
+const (
+	// FRFCFS is first-ready, first-come-first-served with rank batching —
+	// the standard high-performance policy assumed by the paper's USIMM
+	// methodology (default).
+	FRFCFS SchedPolicy = iota
+	// FCFS serves the oldest request strictly in order; a baseline for
+	// scheduler ablations.
+	FCFS
+)
+
+// Config describes a memory system instance.
+type Config struct {
+	Timing Timing
+	Geom   addrmap.Geometry
+	// Sched selects the scheduling policy (default FRFCFS).
+	Sched SchedPolicy
+	// ReadQ / WriteQ are the per-channel queue capacities (48/48 in
+	// Table III).
+	ReadQ  int
+	WriteQ int
+	// HighWM / LowWM are the write-drain watermarks: when the write queue
+	// reaches HighWM the channel drains writes until LowWM.
+	HighWM int
+	LowWM  int
+}
+
+// DefaultConfig returns the Table III configuration for the given channel
+// count.
+func DefaultConfig(channels int) Config {
+	return Config{
+		Timing: DDR3_1600(),
+		Geom:   addrmap.DefaultGeometry(channels),
+		ReadQ:  48,
+		WriteQ: 48,
+		HighWM: 40,
+		LowWM:  20,
+	}
+}
+
+// Txn is one 64-byte memory transaction in flight.
+type Txn struct {
+	Op  mem.Op
+	Loc addrmap.Location
+
+	// Arrival is the DRAM cycle the transaction entered the queue.
+	Arrival uint64
+	// Done is the cycle the data burst finished (valid after completion).
+	Done uint64
+	// RowHit records whether the transaction was served without an
+	// intervening ACTIVATE (set at column-command issue).
+	RowHit bool
+
+	neededAct bool
+	colIssued bool
+}
+
+// Latency returns the queueing+service latency in DRAM cycles.
+func (t *Txn) Latency() uint64 { return t.Done - t.Arrival }
+
+// cmd enumerates DRAM commands for the scheduler.
+type cmd uint8
+
+const (
+	cmdNone cmd = iota
+	cmdAct
+	cmdPre
+	cmdRead
+	cmdWrite
+)
+
+// bank is the per-bank row-buffer state machine.
+type bank struct {
+	open    bool
+	row     int
+	nextAct uint64 // earliest ACTIVATE (tRC, tRP)
+	nextCol uint64 // earliest column command (tRCD)
+	nextPre uint64 // earliest PRECHARGE (tRAS, tRTP, tWR)
+}
+
+// rank holds rank-level constraints shared by its banks.
+type rank struct {
+	banks []bank
+	// actWindow holds issueCycle+1 of the last four ACTIVATEs (0 = empty
+	// slot) to enforce tFAW.
+	actWindow   [4]uint64
+	actIdx      int
+	nextRankAct uint64 // earliest next ACTIVATE in this rank (tRRD)
+	wtrUntil    uint64 // no read column command before this (tWTR)
+	// refresh bookkeeping
+	nextRef    uint64
+	refPending bool
+	refUntil   uint64
+}
+
+// ChannelStats aggregates per-channel event counts for performance and
+// energy reporting.
+type ChannelStats struct {
+	Reads      stats.Counter
+	Writes     stats.Counter
+	Activates  stats.Counter
+	Precharges stats.Counter
+	Refreshes  stats.Counter
+	RowHits    stats.Counter
+	RowMisses  stats.Counter
+	BusBusy    stats.Counter // data-bus busy cycles
+	ReadLat    stats.Mean    // read latency in DRAM cycles
+	// KindReads/KindWrites break traffic down by transaction kind for the
+	// Fig 3 / Fig 9 analyses.
+	KindReads  [mem.NumKinds]stats.Counter
+	KindWrites [mem.NumKinds]stats.Counter
+}
+
+// RowHitRate returns row hits over all column commands.
+func (s *ChannelStats) RowHitRate() float64 {
+	total := s.RowHits.Value() + s.RowMisses.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits.Value()) / float64(total)
+}
+
+// channel is one DDR channel: queues, banks, bus, and scheduler state.
+type channel struct {
+	cfg   Config
+	ranks []rank
+
+	readQ  []*Txn
+	writeQ []*Txn
+
+	// pending completions ordered by insertion; completion times are
+	// monotonic enough that a linear scan each cycle is cheap (queues are
+	// small), but we keep them sorted for determinism.
+	pending []*Txn
+
+	busFreeAt uint64
+	lastRank  int
+	lastWasWr bool
+	draining  bool
+
+	// check, when attached, validates every issued command against JEDEC
+	// timing invariants (test instrumentation).
+	check *Checker
+
+	Stats ChannelStats
+}
+
+// Memory is the full multi-channel DRAM system.
+type Memory struct {
+	cfg      Config
+	channels []*channel
+	now      uint64 // current DRAM cycle
+}
+
+// New builds a memory system from cfg.
+func New(cfg Config) *Memory {
+	if cfg.ReadQ <= 0 || cfg.WriteQ <= 0 {
+		panic("dram: queue capacities must be positive")
+	}
+	if cfg.LowWM >= cfg.HighWM || cfg.HighWM > cfg.WriteQ {
+		panic(fmt.Sprintf("dram: bad watermarks low=%d high=%d cap=%d", cfg.LowWM, cfg.HighWM, cfg.WriteQ))
+	}
+	m := &Memory{cfg: cfg}
+	for c := 0; c < cfg.Geom.Channels; c++ {
+		ch := &channel{cfg: cfg, lastRank: -1}
+		ch.ranks = make([]rank, cfg.Geom.RanksPerChan)
+		for r := range ch.ranks {
+			ch.ranks[r].banks = make([]bank, cfg.Geom.BanksPerRank)
+			// Stagger refreshes across ranks to avoid lockstep stalls.
+			ch.ranks[r].nextRef = cfg.Timing.TREFI * uint64(r+1) / uint64(cfg.Geom.RanksPerChan+1)
+		}
+		m.channels = append(m.channels, ch)
+	}
+	return m
+}
+
+// Config returns the memory configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// AttachCheckers installs a protocol monitor on every channel and returns
+// them (index = channel). Intended for tests; adds per-command overhead.
+func (m *Memory) AttachCheckers() []*Checker {
+	out := make([]*Checker, len(m.channels))
+	for i, ch := range m.channels {
+		ch.check = NewChecker(m.cfg.Timing, m.cfg.Geom.RanksPerChan, m.cfg.Geom.BanksPerRank)
+		out[i] = ch.check
+	}
+	return out
+}
+
+// Now returns the current DRAM cycle.
+func (m *Memory) Now() uint64 { return m.now }
+
+// ChannelStats returns the stats of channel c.
+func (m *Memory) ChannelStats(c int) *ChannelStats { return &m.channels[c].Stats }
+
+// CanEnqueue reports whether channel c has room for a transaction of the
+// given type.
+func (m *Memory) CanEnqueue(c int, t mem.AccessType) bool {
+	ch := m.channels[c]
+	if t == mem.Read {
+		return len(ch.readQ) < m.cfg.ReadQ
+	}
+	return len(ch.writeQ) < m.cfg.WriteQ
+}
+
+// QueueLen returns the current occupancy of channel c's queue for type t.
+func (m *Memory) QueueLen(c int, t mem.AccessType) int {
+	if t == mem.Read {
+		return len(m.channels[c].readQ)
+	}
+	return len(m.channels[c].writeQ)
+}
+
+// Enqueue adds a transaction; it returns false (and does nothing) if the
+// target queue is full. The transaction's Loc.Channel selects the channel.
+func (m *Memory) Enqueue(t *Txn) bool {
+	ch := m.channels[t.Loc.Channel]
+	t.Arrival = m.now
+	if t.Op.Type == mem.Read {
+		if len(ch.readQ) >= m.cfg.ReadQ {
+			return false
+		}
+		ch.readQ = append(ch.readQ, t)
+	} else {
+		if len(ch.writeQ) >= m.cfg.WriteQ {
+			return false
+		}
+		ch.writeQ = append(ch.writeQ, t)
+	}
+	return true
+}
+
+// Pending returns the total number of in-flight and queued transactions.
+func (m *Memory) Pending() int {
+	n := 0
+	for _, ch := range m.channels {
+		n += len(ch.readQ) + len(ch.writeQ) + len(ch.pending)
+	}
+	return n
+}
+
+// Tick advances the memory system one DRAM cycle and returns transactions
+// whose data burst completed this cycle.
+func (m *Memory) Tick() []*Txn {
+	var done []*Txn
+	for _, ch := range m.channels {
+		done = ch.tick(m.now, done)
+	}
+	m.now++
+	return done
+}
+
+func (ch *channel) tick(now uint64, done []*Txn) []*Txn {
+	// Deliver completions.
+	for i := 0; i < len(ch.pending); {
+		t := ch.pending[i]
+		if t.Done <= now {
+			ch.pending[i] = ch.pending[len(ch.pending)-1]
+			ch.pending = ch.pending[:len(ch.pending)-1]
+			if t.Op.Type == mem.Read {
+				ch.Stats.ReadLat.Observe(float64(t.Done - t.Arrival))
+			}
+			done = append(done, t)
+			continue
+		}
+		i++
+	}
+	if ch.busFreeAt > now {
+		ch.Stats.BusBusy.Inc()
+	}
+
+	// Refresh management: when a rank's refresh is due, drain its banks
+	// (via PRE below) and issue REF once all are closed.
+	for r := range ch.ranks {
+		rk := &ch.ranks[r]
+		if !rk.refPending && now >= rk.nextRef {
+			rk.refPending = true
+		}
+	}
+
+	// Update drain mode.
+	if len(ch.writeQ) >= ch.cfg.HighWM {
+		ch.draining = true
+	} else if len(ch.writeQ) <= ch.cfg.LowWM {
+		ch.draining = false
+	}
+
+	// One command per channel per cycle. Priority: refresh PRE/REF, then
+	// the primary queue (writes when draining, else reads), then the other
+	// queue if the primary had nothing issuable.
+	if ch.issueRefresh(now) {
+		return done
+	}
+	primary, secondary := ch.readQ, ch.writeQ
+	if ch.draining || len(ch.readQ) == 0 {
+		primary, secondary = ch.writeQ, ch.readQ
+	}
+	if ch.issueFrom(primary, now) {
+		return done
+	}
+	ch.issueFrom(secondary, now)
+	return done
+}
+
+// issueRefresh issues a PRE or REF needed by a pending refresh; it returns
+// true if a command was issued.
+func (ch *channel) issueRefresh(now uint64) bool {
+	for r := range ch.ranks {
+		rk := &ch.ranks[r]
+		if !rk.refPending || now < rk.refUntil {
+			continue
+		}
+		allClosed := true
+		for b := range rk.banks {
+			bk := &rk.banks[b]
+			if bk.open {
+				allClosed = false
+				if now >= bk.nextPre {
+					if ch.check != nil {
+						ch.check.OnPrecharge(now, r, b)
+					}
+					ch.precharge(rk, bk, now)
+					return true
+				}
+			}
+		}
+		if allClosed {
+			// Issue REF.
+			if ch.check != nil {
+				ch.check.OnRefresh(now, r)
+			}
+			rk.refUntil = now + ch.cfg.Timing.TRFC
+			rk.nextRef += ch.cfg.Timing.TREFI
+			rk.refPending = false
+			for b := range rk.banks {
+				if rk.banks[b].nextAct < rk.refUntil {
+					rk.banks[b].nextAct = rk.refUntil
+				}
+			}
+			ch.Stats.Refreshes.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// issueFrom applies FR-FCFS to the queue: among transactions whose column
+// command is issuable now, it prefers ones in the rank that last used the
+// data bus (rank batching amortizes the tRTRS switch penalty, as commercial
+// controllers do); otherwise the first ready row hit wins; otherwise the
+// first transaction for which an ACT or PRE can be issued. Returns true if
+// a command was issued.
+func (ch *channel) issueFrom(q []*Txn, now uint64) bool {
+	if ch.cfg.Sched == FCFS {
+		// Strict in-order service: only the oldest transaction may issue.
+		for _, t := range q {
+			if c := ch.cmdReady(t, now); c != cmdNone {
+				ch.issue(t, c, now)
+				return true
+			}
+			return false
+		}
+		return false
+	}
+	var firstReady *Txn
+	var firstReadyCmd cmd
+	for _, t := range q {
+		c := ch.cmdReady(t, now)
+		if c != cmdRead && c != cmdWrite {
+			continue
+		}
+		if t.Loc.Rank == ch.lastRank {
+			ch.issue(t, c, now)
+			return true
+		}
+		if firstReady == nil {
+			firstReady, firstReadyCmd = t, c
+		}
+	}
+	if firstReady != nil {
+		ch.issue(firstReady, firstReadyCmd, now)
+		return true
+	}
+	// No ready column command: oldest transaction with any issuable command.
+	for _, t := range q {
+		c := ch.cmdReady(t, now)
+		if c != cmdNone {
+			ch.issue(t, c, now)
+			return true
+		}
+	}
+	return false
+}
+
+// cmdReady returns the next command needed by t if it is issuable at now.
+func (ch *channel) cmdReady(t *Txn, now uint64) cmd {
+	if t.colIssued {
+		return cmdNone
+	}
+	rk := &ch.ranks[t.Loc.Rank]
+	bk := &rk.banks[t.Loc.Bank]
+	if now < rk.refUntil {
+		return cmdNone
+	}
+	if bk.open && bk.row == t.Loc.Row {
+		// Column command.
+		if now < bk.nextCol {
+			return cmdNone
+		}
+		tm := ch.cfg.Timing
+		var burstStart uint64
+		if t.Op.Type == mem.Read {
+			if now < rk.wtrUntil {
+				return cmdNone
+			}
+			burstStart = now + tm.TCAS
+		} else {
+			burstStart = now + tm.TCWD
+		}
+		if burstStart < ch.busNeed(t.Loc.Rank, t.Op.Type == mem.Write) {
+			return cmdNone
+		}
+		if t.Op.Type == mem.Read {
+			return cmdRead
+		}
+		return cmdWrite
+	}
+	if bk.open {
+		// Row conflict: need PRE.
+		if now >= bk.nextPre {
+			return cmdPre
+		}
+		return cmdNone
+	}
+	// Closed: need ACT, subject to tRC/tRP (nextAct), tRRD, tFAW, and not
+	// activating a rank that is about to refresh (avoids starving REF).
+	if rk.refPending {
+		return cmdNone
+	}
+	if now < bk.nextAct || now < rk.nextRankAct {
+		return cmdNone
+	}
+	if oldest := rk.actWindow[rk.actIdx]; oldest != 0 && now < oldest-1+ch.cfg.Timing.TFAW {
+		return cmdNone
+	}
+	return cmdAct
+}
+
+// busNeed returns the earliest burst-start cycle permitted by the shared
+// data bus, including rank-switch and turnaround penalties.
+func (ch *channel) busNeed(rnk int, isWrite bool) uint64 {
+	need := ch.busFreeAt
+	if ch.lastRank >= 0 && ch.lastRank != rnk {
+		need += ch.cfg.Timing.TRTRS
+	}
+	if ch.lastRank >= 0 && ch.lastWasWr != isWrite {
+		// Bus turnaround between read and write bursts.
+		need += 2
+	}
+	return need
+}
+
+func (ch *channel) issue(t *Txn, c cmd, now uint64) {
+	tm := ch.cfg.Timing
+	rk := &ch.ranks[t.Loc.Rank]
+	bk := &rk.banks[t.Loc.Bank]
+	switch c {
+	case cmdAct:
+		if ch.check != nil {
+			ch.check.OnActivate(now, t.Loc.Rank, t.Loc.Bank, t.Loc.Row)
+		}
+		bk.open = true
+		bk.row = t.Loc.Row
+		bk.nextCol = now + tm.TRCD
+		bk.nextPre = now + tm.TRAS
+		bk.nextAct = now + tm.TRC
+		rk.nextRankAct = now + tm.TRRD
+		rk.actWindow[rk.actIdx] = now + 1
+		rk.actIdx = (rk.actIdx + 1) % len(rk.actWindow)
+		t.neededAct = true
+		ch.Stats.Activates.Inc()
+	case cmdPre:
+		if ch.check != nil {
+			ch.check.OnPrecharge(now, t.Loc.Rank, t.Loc.Bank)
+		}
+		ch.precharge(rk, bk, now)
+	case cmdRead, cmdWrite:
+		if ch.check != nil {
+			ch.check.OnColumn(now, t.Loc.Rank, t.Loc.Bank, t.Loc.Row, c == cmdWrite)
+		}
+		var burstStart uint64
+		if c == cmdRead {
+			burstStart = now + tm.TCAS
+			if pre := now + tm.TRTP; pre > bk.nextPre {
+				bk.nextPre = pre
+			}
+			ch.Stats.Reads.Inc()
+			ch.Stats.KindReads[t.Op.Kind].Inc()
+		} else {
+			burstStart = now + tm.TCWD
+			if pre := burstStart + tm.TBurst + tm.TWR; pre > bk.nextPre {
+				bk.nextPre = pre
+			}
+			rk.wtrUntil = burstStart + tm.TBurst + tm.TWTR
+			ch.Stats.Writes.Inc()
+			ch.Stats.KindWrites[t.Op.Kind].Inc()
+		}
+		bk.nextCol = now + tm.TCCD
+		ch.busFreeAt = burstStart + tm.TBurst
+		ch.lastRank = t.Loc.Rank
+		ch.lastWasWr = c == cmdWrite
+		t.colIssued = true
+		t.RowHit = !t.neededAct
+		if t.RowHit {
+			ch.Stats.RowHits.Inc()
+		} else {
+			ch.Stats.RowMisses.Inc()
+		}
+		t.Done = burstStart + tm.TBurst
+		ch.removeFromQueue(t)
+		ch.pending = append(ch.pending, t)
+	}
+}
+
+func (ch *channel) precharge(rk *rank, bk *bank, now uint64) {
+	bk.open = false
+	if na := now + ch.cfg.Timing.TRP; na > bk.nextAct {
+		bk.nextAct = na
+	}
+	ch.Stats.Precharges.Inc()
+}
+
+func (ch *channel) removeFromQueue(t *Txn) {
+	q := &ch.readQ
+	if t.Op.Type == mem.Write {
+		q = &ch.writeQ
+	}
+	for i, x := range *q {
+		if x == t {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}

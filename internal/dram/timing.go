@@ -1,0 +1,82 @@
+// Package dram is a cycle-accurate, trace-driven DDR3 main-memory model in
+// the style of USIMM (the simulator used by the paper). It models per-bank
+// row-buffer state machines, rank-level tFAW/tRRD/refresh constraints, the
+// shared data bus with rank-switch and write-to-read turnarounds, FR-FCFS
+// scheduling with read priority, and watermark-based write draining.
+//
+// All times are in DRAM bus cycles (800 MHz for DDR3-1600, i.e. 1.25 ns per
+// cycle, 4 CPU cycles at the paper's 3.2 GHz core clock).
+package dram
+
+// Timing holds the DDR3 timing constraints, in DRAM cycles. Field names
+// follow the JEDEC parameters listed in Table III of the paper.
+type Timing struct {
+	TRC    uint64 // ACTIVATE to ACTIVATE, same bank
+	TRCD   uint64 // ACTIVATE to column command
+	TRAS   uint64 // ACTIVATE to PRECHARGE
+	TFAW   uint64 // four-activate window, per rank
+	TWR    uint64 // write recovery (end of write data to PRECHARGE)
+	TRP    uint64 // PRECHARGE to ACTIVATE
+	TRTRS  uint64 // rank-to-rank data-bus switch penalty
+	TCAS   uint64 // read column command to data (CL)
+	TCWD   uint64 // write column command to data (CWL)
+	TRTP   uint64 // read to PRECHARGE
+	TCCD   uint64 // column command to column command
+	TWTR   uint64 // end of write data to read command, same rank
+	TRRD   uint64 // ACTIVATE to ACTIVATE, same rank
+	TREFI  uint64 // refresh interval per rank
+	TRFC   uint64 // refresh cycle time
+	TBurst uint64 // data burst duration (BL8 = 4 bus cycles)
+}
+
+// DDR3_1600 returns the Micron DDR3-1600 timing of Table III. tREFI is
+// 7.8 us and tRFC 640 ns, converted at 800 MHz (1.25 ns/cycle).
+func DDR3_1600() Timing {
+	return Timing{
+		TRC:    39,
+		TRCD:   11,
+		TRAS:   28,
+		TFAW:   20,
+		TWR:    12,
+		TRP:    11,
+		TRTRS:  2,
+		TCAS:   11,
+		TCWD:   9, // CWL for DDR3-1600 (not in Table III; JEDEC value)
+		TRTP:   6,
+		TCCD:   4,
+		TWTR:   6,
+		TRRD:   5,
+		TREFI:  6240, // 7.8 us / 1.25 ns
+		TRFC:   512,  // 640 ns / 1.25 ns
+		TBurst: 4,
+	}
+}
+
+// DDR4_2400 returns DDR4-2400 (CL17) timing in 1200 MHz bus cycles, for the
+// DDR4 sensitivity study. The paper's write-masking discussion (Section
+// II-C) concerns DDR4 RDIMMs; ITESP's freedom from masked writes is what
+// makes it deployable there.
+func DDR4_2400() Timing {
+	return Timing{
+		TRC:    57, // 47.5 ns
+		TRCD:   17,
+		TRAS:   39,
+		TFAW:   26,
+		TWR:    18,
+		TRP:    17,
+		TRTRS:  3,
+		TCAS:   17,
+		TCWD:   12,
+		TRTP:   9,
+		TCCD:   4, // tCCD_S with bank-group interleaving
+		TWTR:   9,
+		TRRD:   6,
+		TREFI:  9360, // 7.8 us at 1.2 GHz
+		TRFC:   420,  // 350 ns (8 Gb)
+		TBurst: 4,
+	}
+}
+
+// CPUCyclesPerDRAMCycle is the clock ratio between the 3.2 GHz core and the
+// 800 MHz DDR3-1600 bus assumed throughout the paper's methodology.
+const CPUCyclesPerDRAMCycle = 4

@@ -1,0 +1,238 @@
+package enclave
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestTranslateAllocatesOnFirstTouch(t *testing.T) {
+	s := NewDenseSystem(100)
+	e := s.Create(0)
+	pa1, pte1, err := s.Translate(0, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa2, pte2, err := s.Translate(0, 0x1040)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pte1 != pte2 {
+		t.Fatal("same virtual page must reuse the PTE")
+	}
+	if pa2-pa1 != 0x40 {
+		t.Fatalf("offset not preserved: %#x vs %#x", pa1, pa2)
+	}
+	if e.MappedPages() != 1 || e.Touched.Value() != 1 {
+		t.Fatal("exactly one page should be mapped")
+	}
+}
+
+func TestLeafIDsAssignedInTouchOrder(t *testing.T) {
+	s := NewDenseSystem(100)
+	s.Create(0)
+	for i := uint64(0); i < 5; i++ {
+		_, pte, err := s.Translate(0, mem.VirtAddr(0x10000+i*mem.PageSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pte.LeafID != i {
+			t.Fatalf("page %d leaf-id = %d, want touch order %d", i, pte.LeafID, i)
+		}
+	}
+}
+
+func TestInterleavedAllocation(t *testing.T) {
+	// Two enclaves faulting pages alternately share the free list, so their
+	// physical pages interleave (dense mode makes this visible).
+	s := NewDenseSystem(100)
+	s.Create(0)
+	s.Create(1)
+	var phys [2][]uint64
+	for i := 0; i < 3; i++ {
+		for e := mem.EnclaveID(0); e < 2; e++ {
+			_, pte, err := s.Translate(e, mem.VirtAddr(uint64(i)*mem.PageSize))
+			if err != nil {
+				t.Fatal(err)
+			}
+			phys[e] = append(phys[e], pte.PhysPage)
+		}
+	}
+	want := [2][]uint64{{0, 2, 4}, {1, 3, 5}}
+	for e := 0; e < 2; e++ {
+		for i := range want[e] {
+			if phys[e][i] != want[e][i] {
+				t.Fatalf("enclave %d pages = %v, want %v", e, phys[e], want[e])
+			}
+		}
+	}
+}
+
+func TestScatterAllocationIsPermutation(t *testing.T) {
+	const n = 1000
+	s := NewSystem(n)
+	s.Create(0)
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < n; i++ {
+		_, pte, err := s.Translate(0, mem.VirtAddr(i*mem.PageSize))
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if pte.PhysPage >= n {
+			t.Fatalf("page %d out of range", pte.PhysPage)
+		}
+		if seen[pte.PhysPage] {
+			t.Fatalf("page %d handed out twice", pte.PhysPage)
+		}
+		seen[pte.PhysPage] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("allocated %d distinct pages, want %d", len(seen), n)
+	}
+}
+
+func TestScatterActuallyScatters(t *testing.T) {
+	s := NewSystem(1 << 16)
+	s.Create(0)
+	adjacent := 0
+	var prev uint64
+	for i := uint64(0); i < 100; i++ {
+		_, pte, err := s.Translate(0, mem.VirtAddr(i*mem.PageSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (pte.PhysPage == prev+1 || prev == pte.PhysPage+1) {
+			adjacent++
+		}
+		prev = pte.PhysPage
+	}
+	if adjacent > 5 {
+		t.Fatalf("%d/100 consecutive allocations were physically adjacent; scatter too weak", adjacent)
+	}
+}
+
+func TestOutOfPages(t *testing.T) {
+	s := NewDenseSystem(2)
+	s.Create(0)
+	for i := uint64(0); i < 2; i++ {
+		if _, _, err := s.Translate(0, mem.VirtAddr(i*mem.PageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.Translate(0, mem.VirtAddr(5*mem.PageSize)); err == nil {
+		t.Fatal("expected out-of-pages error")
+	}
+}
+
+func TestUnmapRecyclesPageAndLeaf(t *testing.T) {
+	s := NewDenseSystem(10)
+	s.Create(0)
+	_, pte, _ := s.Translate(0, 0)
+	if err := s.Unmap(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Next allocation reuses the freed page and leaf-id.
+	_, pte2, _ := s.Translate(0, mem.VirtAddr(7*mem.PageSize))
+	if pte2.PhysPage != pte.PhysPage || pte2.LeafID != pte.LeafID {
+		t.Fatalf("freed resources not recycled: %+v vs %+v", pte2, pte)
+	}
+	if err := s.Unmap(0, 0); err == nil {
+		t.Fatal("double unmap should error")
+	}
+}
+
+func TestUnknownEnclave(t *testing.T) {
+	s := NewDenseSystem(10)
+	if _, _, err := s.Translate(9, 0); err == nil {
+		t.Fatal("unknown enclave should error")
+	}
+	if err := s.Unmap(9, 0); err == nil {
+		t.Fatal("unknown enclave unmap should error")
+	}
+}
+
+func TestDuplicateEnclavePanics(t *testing.T) {
+	s := NewDenseSystem(10)
+	s.Create(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate enclave id should panic")
+		}
+	}()
+	s.Create(3)
+}
+
+func TestLocalBlock(t *testing.T) {
+	pte := PTE{PhysPage: 123, LeafID: 5}
+	pa := mem.PhysAddr(123*mem.PageSize + 3*mem.BlockSize)
+	if got, want := LocalBlock(pte, pa), uint64(5*mem.BlocksPage+3); got != want {
+		t.Fatalf("LocalBlock = %d, want %d", got, want)
+	}
+}
+
+// Property: translation is stable — repeated translations of the same
+// virtual address agree.
+func TestTranslateStable(t *testing.T) {
+	s := NewSystem(1 << 12)
+	s.Create(0)
+	f := func(v uint32) bool {
+		va := mem.VirtAddr(v)
+		a1, p1, err1 := s.Translate(0, va)
+		a2, p2, err2 := s.Translate(0, va)
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil // consistent failure (out of pages)
+		}
+		return a1 == a2 && p1 == p2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBBasics(t *testing.T) {
+	tlb := NewTLB(2)
+	if _, hit := tlb.Lookup(0, 1); hit {
+		t.Fatal("cold TLB should miss")
+	}
+	tlb.Fill(0, 1, PTE{PhysPage: 10, LeafID: 0})
+	if pte, hit := tlb.Lookup(0, 1); !hit || pte.PhysPage != 10 {
+		t.Fatal("fill then lookup should hit")
+	}
+	// Same virtual page of another enclave is distinct.
+	if _, hit := tlb.Lookup(1, 1); hit {
+		t.Fatal("TLB must key by enclave")
+	}
+	// LRU eviction with 2 entries.
+	tlb.Fill(0, 2, PTE{PhysPage: 20})
+	tlb.Lookup(0, 1)
+	tlb.Fill(0, 3, PTE{PhysPage: 30})
+	if _, hit := tlb.Lookup(0, 2); hit {
+		t.Fatal("LRU entry should have been evicted")
+	}
+	if _, hit := tlb.Lookup(0, 1); !hit {
+		t.Fatal("MRU entry should survive")
+	}
+}
+
+func TestTLBFlushEnclave(t *testing.T) {
+	tlb := NewTLB(8)
+	tlb.Fill(0, 1, PTE{})
+	tlb.Fill(1, 1, PTE{})
+	tlb.FlushEnclave(0)
+	if _, hit := tlb.Lookup(0, 1); hit {
+		t.Fatal("flushed enclave entry survived")
+	}
+	if _, hit := tlb.Lookup(1, 1); !hit {
+		t.Fatal("other enclave's entry must survive")
+	}
+}
+
+func TestTLBRefillUpdates(t *testing.T) {
+	tlb := NewTLB(4)
+	tlb.Fill(0, 1, PTE{PhysPage: 1})
+	tlb.Fill(0, 1, PTE{PhysPage: 2})
+	if pte, _ := tlb.Lookup(0, 1); pte.PhysPage != 2 {
+		t.Fatal("refill must update in place")
+	}
+}

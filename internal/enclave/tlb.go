@@ -1,0 +1,83 @@
+package enclave
+
+import (
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// TLB is a small fully-associative translation cache holding PTEs with the
+// extra leaf-id field the isolation scheme adds (Section III-E: "Isolated
+// trees introduce an additional field in the page tables and TLBs"). It is
+// used by the covert-channel demonstration and available to the CPU model;
+// the cycle simulator charges no extra latency for TLB hits since the
+// leaf-id rides along with the normal translation.
+type TLB struct {
+	entries int
+	slots   []tlbEntry
+	tick    uint64
+
+	Lookups stats.Ratio
+}
+
+type tlbEntry struct {
+	valid    bool
+	enclave  mem.EnclaveID
+	virtPage uint64
+	pte      PTE
+	lru      uint64
+}
+
+// NewTLB creates a TLB with the given number of entries.
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		panic("enclave: TLB needs at least one entry")
+	}
+	return &TLB{entries: entries, slots: make([]tlbEntry, entries)}
+}
+
+// Lookup returns the cached PTE for (id, virtual page), if present.
+func (t *TLB) Lookup(id mem.EnclaveID, vp uint64) (PTE, bool) {
+	t.tick++
+	for i := range t.slots {
+		e := &t.slots[i]
+		if e.valid && e.enclave == id && e.virtPage == vp {
+			e.lru = t.tick
+			t.Lookups.Observe(true)
+			return e.pte, true
+		}
+	}
+	t.Lookups.Observe(false)
+	return PTE{}, false
+}
+
+// Fill inserts a translation, evicting the LRU entry if full.
+func (t *TLB) Fill(id mem.EnclaveID, vp uint64, pte PTE) {
+	t.tick++
+	victim := 0
+	for i := range t.slots {
+		e := &t.slots[i]
+		if e.valid && e.enclave == id && e.virtPage == vp {
+			e.pte = pte
+			e.lru = t.tick
+			return
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lru < t.slots[victim].lru {
+			victim = i
+		}
+	}
+	t.slots[victim] = tlbEntry{valid: true, enclave: id, virtPage: vp, pte: pte, lru: t.tick}
+}
+
+// FlushEnclave invalidates every entry of one enclave (context switch /
+// enclave teardown).
+func (t *TLB) FlushEnclave(id mem.EnclaveID) {
+	for i := range t.slots {
+		if t.slots[i].valid && t.slots[i].enclave == id {
+			t.slots[i] = tlbEntry{}
+		}
+	}
+}

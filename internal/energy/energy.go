@@ -1,0 +1,65 @@
+// Package energy estimates memory energy and system energy-delay product
+// (EDP) from simulator event counts, in the style of the Micron system
+// power calculator and the Memory Scheduling Championship assumptions the
+// paper's methodology cites. Absolute values are representative DDR3
+// numbers; the experiments report values normalized to a non-secure
+// baseline, so only relative trends matter.
+package energy
+
+import "repro/internal/dram"
+
+// Params holds per-event energies (nanojoules) and static power (watts).
+type Params struct {
+	// EAct is the energy of one ACTIVATE+PRECHARGE pair (row cycle).
+	EAct float64
+	// ERead / EWrite are per-64B-burst energies including I/O.
+	ERead  float64
+	EWrite float64
+	// ERefresh is the energy of one all-bank refresh of a rank.
+	ERefresh float64
+	// PBackgroundPerRank is static power per rank (precharge standby).
+	PBackgroundPerRank float64
+	// PCorePerCore is the active power of one core for system EDP.
+	PCorePerCore float64
+	// DRAMCycleSeconds is the DRAM clock period.
+	DRAMCycleSeconds float64
+}
+
+// DefaultParams returns representative Micron DDR3-1600 ×8 values.
+func DefaultParams() Params {
+	return Params{
+		EAct:               2.5,  // nJ per ACT/PRE pair
+		ERead:              5.2,  // nJ per 64B read burst (array + I/O + termination)
+		EWrite:             5.5,  // nJ per 64B write burst
+		ERefresh:           28.0, // nJ per REF
+		PBackgroundPerRank: 0.11, // W per rank
+		PCorePerCore:       10.0, // W per active core (MSC-style)
+		DRAMCycleSeconds:   1.25e-9,
+	}
+}
+
+// MemoryJoules computes total memory energy over an elapsed number of DRAM
+// cycles from the per-channel event counts.
+func MemoryJoules(m *dram.Memory, elapsedDRAMCycles uint64, p Params) float64 {
+	cfg := m.Config()
+	var dynamic float64 // nJ
+	for c := 0; c < cfg.Geom.Channels; c++ {
+		s := m.ChannelStats(c)
+		dynamic += float64(s.Activates.Value()) * p.EAct
+		dynamic += float64(s.Reads.Value()) * p.ERead
+		dynamic += float64(s.Writes.Value()) * p.EWrite
+		dynamic += float64(s.Refreshes.Value()) * p.ERefresh
+	}
+	ranks := float64(cfg.Geom.Channels * cfg.Geom.RanksPerChan)
+	static := p.PBackgroundPerRank * ranks * float64(elapsedDRAMCycles) * p.DRAMCycleSeconds
+	return dynamic*1e-9 + static
+}
+
+// SystemEDP returns (memory energy + core energy) x execution time, the
+// paper's Fig 10/12/13 metric. cpuCycles is execution time in CPU cycles at
+// 4x the DRAM clock.
+func SystemEDP(memJoules float64, cpuCycles uint64, cores int, p Params) float64 {
+	seconds := float64(cpuCycles) * p.DRAMCycleSeconds / 4
+	coreJ := p.PCorePerCore * float64(cores) * seconds
+	return (memJoules + coreJ) * seconds
+}

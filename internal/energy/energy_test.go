@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"testing"
+
+	"repro/internal/addrmap"
+	"repro/internal/dram"
+	"repro/internal/mem"
+)
+
+func runTraffic(t *testing.T, nReads, nWrites int) *dram.Memory {
+	t.Helper()
+	m := dram.New(dram.Config{
+		Timing: dram.DDR3_1600(),
+		Geom:   addrmap.Geometry{Channels: 1, RanksPerChan: 2, BanksPerRank: 2, RowsPerBank: 16, ColumnsPerRow: 8},
+		ReadQ:  8, WriteQ: 8, HighWM: 6, LowWM: 2,
+	})
+	issued, done := 0, 0
+	for done < nReads+nWrites {
+		if issued < nReads && m.CanEnqueue(0, mem.Read) {
+			m.Enqueue(&dram.Txn{Op: mem.Op{Type: mem.Read}, Loc: addrmap.Location{Row: issued % 16}})
+			issued++
+		} else if issued >= nReads && issued < nReads+nWrites && m.CanEnqueue(0, mem.Write) {
+			m.Enqueue(&dram.Txn{Op: mem.Op{Type: mem.Write}, Loc: addrmap.Location{Row: issued % 16, Bank: 1}})
+			issued++
+		}
+		done += len(m.Tick())
+		if m.Now() > 1_000_000 {
+			t.Fatal("traffic did not drain")
+		}
+	}
+	return m
+}
+
+func TestMemoryJoulesPositiveAndMonotonic(t *testing.T) {
+	p := DefaultParams()
+	light := runTraffic(t, 10, 5)
+	heavy := runTraffic(t, 100, 50)
+	elapsed := heavy.Now()
+	if light.Now() > elapsed {
+		elapsed = light.Now()
+	}
+	el := MemoryJoules(light, elapsed, p)
+	eh := MemoryJoules(heavy, elapsed, p)
+	if el <= 0 || eh <= 0 {
+		t.Fatal("energies must be positive")
+	}
+	if eh <= el {
+		t.Fatalf("10x traffic should cost more energy: %g vs %g", eh, el)
+	}
+}
+
+func TestStaticEnergyGrowsWithTime(t *testing.T) {
+	p := DefaultParams()
+	m := runTraffic(t, 5, 0)
+	e1 := MemoryJoules(m, 1000, p)
+	e2 := MemoryJoules(m, 100_000, p)
+	if e2 <= e1 {
+		t.Fatal("background energy must grow with elapsed time")
+	}
+}
+
+func TestSystemEDPScalesQuadraticallyWithTime(t *testing.T) {
+	p := DefaultParams()
+	// With fixed memory energy, EDP = (memJ + P*t)*t: doubling time more
+	// than doubles EDP.
+	e1 := SystemEDP(1.0, 1_000_000, 4, p)
+	e2 := SystemEDP(1.0, 2_000_000, 4, p)
+	if e2 < 2*e1 {
+		t.Fatalf("EDP(2t)=%g < 2*EDP(t)=%g", e2, 2*e1)
+	}
+}
+
+func TestSystemEDPCoreCount(t *testing.T) {
+	p := DefaultParams()
+	if SystemEDP(1.0, 1_000_000, 8, p) <= SystemEDP(1.0, 1_000_000, 4, p) {
+		t.Fatal("more cores consume more energy at equal time")
+	}
+}

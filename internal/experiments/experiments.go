@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index). Each Fig*/Table*
+// function runs the required simulations, prints the paper's rows/series to
+// the configured writer, and returns the numbers for tests and downstream
+// analysis.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options control simulation scale; the defaults trade the paper's 5M ops
+// per core for quick turnaround while preserving relative behavior.
+type Options struct {
+	// OpsPerCore is the number of memory operations per core.
+	OpsPerCore uint64
+	// Cores and Channels; zero means the experiment's paper default.
+	Cores    int
+	Channels int
+	// Benchmarks restricts runs to the named benchmarks; nil means the
+	// experiment's paper default (all 31 or the top-15).
+	Benchmarks []string
+	// Seed for trace generation.
+	Seed int64
+	// Parallel is the number of concurrent simulations (default: CPUs).
+	Parallel int
+	// W receives the printed table (default os.Stdout).
+	W io.Writer
+}
+
+func (o Options) writer() io.Writer {
+	if o.W == nil {
+		return os.Stdout
+	}
+	return o.W
+}
+
+func (o Options) ops() uint64 {
+	if o.OpsPerCore == 0 {
+		return 50_000
+	}
+	return o.OpsPerCore
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	p := runtime.NumCPU() - 1
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+func (o Options) benchList(defaults []string) []workload.Spec {
+	names := o.Benchmarks
+	if names == nil {
+		names = defaults
+	}
+	var specs []workload.Spec
+	for _, n := range names {
+		s, err := workload.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// allBenchmarks returns all 31 benchmark names in suite order.
+func allBenchmarks() []string {
+	var names []string
+	for _, s := range workload.Specs() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// job is one simulation in a batch.
+type job struct {
+	key string
+	cfg sim.Config
+}
+
+// runBatch executes jobs in parallel and returns results keyed by job key.
+func runBatch(jobs []job, parallel int) (map[string]*sim.Result, error) {
+	results := make(map[string]*sim.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := sim.Run(j.cfg)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", j.key, err)
+				}
+				return
+			}
+			results[j.key] = r
+		}(j)
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+// geoMeanOver computes the geometric mean of metric over the given
+// benchmark names, reading values from vals[name].
+func geoMeanOver(names []string, vals map[string]float64) float64 {
+	var vs []float64
+	for _, n := range names {
+		if v, ok := vals[n]; ok {
+			vs = append(vs, v)
+		}
+	}
+	return stats.GeoMean(vs)
+}
+
+// sortedKeys returns map keys in sorted order for deterministic printing.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

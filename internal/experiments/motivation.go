@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig2Row is one benchmark's metadata-block utilization comparison between
+// the Large (4-program, shared 64 KB cache, tree over all memory) and Small
+// (1-program, 16 KB cache) models.
+type Fig2Row struct {
+	Benchmark string
+	// UseLarge / UseSmall are hits per metadata block while resident.
+	UseLarge, UseSmall float64
+	// HitRateLarge is the Large model's metadata cache hit rate (the right
+	// Y axis of Fig 2).
+	HitRateLarge float64
+}
+
+// Fig2 reproduces Figure 2: metadata block utilization drops sharply in the
+// multi-programmed shared-tree model versus a single isolated program.
+func Fig2(o Options) ([]Fig2Row, error) {
+	specs := o.benchList(workload.TopMemoryIntensive())
+	var jobs []job
+	for _, spec := range specs {
+		jobs = append(jobs, job{key: "large/" + spec.Name, cfg: sim.Config{
+			SchemeName: "vault", Benchmark: spec, Cores: 4, Channels: 1,
+			OpsPerCore: o.ops(), Seed: o.seed(),
+		}})
+		jobs = append(jobs, job{key: "small/" + spec.Name, cfg: sim.Config{
+			SchemeName: "vault", Benchmark: spec, Cores: 1, Channels: 1,
+			OpsPerCore: o.ops(), Seed: o.seed(), DenseAlloc: true,
+		}})
+	}
+	raw, err := runBatch(jobs, o.parallel())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig2Row
+	w := o.writer()
+	fmt.Fprintln(w, "Fig 2: metadata block utilization (hits per block) and Large hit rate")
+	fmt.Fprintf(w, "%-12s %10s %10s %12s\n", "benchmark", "use.large", "use.small", "hitrate.lg")
+	var ratio []float64
+	for _, spec := range specs {
+		lg := raw["large/"+spec.Name]
+		sm := raw["small/"+spec.Name]
+		if lg == nil || sm == nil {
+			continue
+		}
+		row := Fig2Row{
+			Benchmark:    spec.Name,
+			UseLarge:     lg.Engine.MetaCache().MeanUseIncludingResident(),
+			UseSmall:     sm.Engine.MetaCache().MeanUseIncludingResident(),
+			HitRateLarge: lg.MetaCacheHitRate(),
+		}
+		rows = append(rows, row)
+		if row.UseLarge > 0 {
+			ratio = append(ratio, row.UseSmall/row.UseLarge)
+		}
+		fmt.Fprintf(w, "%-12s %10.2f %10.2f %12.3f\n", row.Benchmark, row.UseLarge, row.UseSmall, row.HitRateLarge)
+	}
+	fmt.Fprintf(w, "average small/large utilization ratio: %.2fx (paper: 2.1x)\n", stats.ArithMean(ratio))
+	return rows, nil
+}
+
+// Fig3Row is one benchmark's metadata access-pattern breakdown (cases A-H)
+// in one model.
+type Fig3Row struct {
+	Benchmark string
+	Model     string // "large" or "small"
+	Frac      [core.NumPatternCases]float64
+}
+
+// Fig3 reproduces Figure 3: the breakdown of metadata accesses triggered by
+// each data operation, for the Large and Small VAULT models. Cases: A none,
+// B MAC only, C leaf only, D MAC+leaf, E leaf+parent, F MAC+leaf+parent,
+// G three+ tree levels, H MAC + three+ tree levels.
+func Fig3(o Options) ([]Fig3Row, error) {
+	specs := o.benchList(workload.TopMemoryIntensive())
+	var jobs []job
+	for _, spec := range specs {
+		jobs = append(jobs, job{key: "large/" + spec.Name, cfg: sim.Config{
+			SchemeName: "vault", Benchmark: spec, Cores: 4, Channels: 1,
+			OpsPerCore: o.ops(), Seed: o.seed(),
+		}})
+		jobs = append(jobs, job{key: "small/" + spec.Name, cfg: sim.Config{
+			SchemeName: "vault", Benchmark: spec, Cores: 1, Channels: 1,
+			OpsPerCore: o.ops(), Seed: o.seed(), DenseAlloc: true,
+		}})
+	}
+	raw, err := runBatch(jobs, o.parallel())
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig3Row
+	w := o.writer()
+	fmt.Fprintln(w, "Fig 3: breakdown of metadata access patterns (fraction of data ops)")
+	fmt.Fprintf(w, "%-12s %-6s", "benchmark", "model")
+	for c := 0; c < core.NumPatternCases; c++ {
+		fmt.Fprintf(w, " %6s", core.PatternCase(c))
+	}
+	fmt.Fprintln(w)
+	var avg [2][core.NumPatternCases]float64
+	var n [2]float64
+	for _, spec := range specs {
+		for mi, model := range []string{"large", "small"} {
+			res := raw[model+"/"+spec.Name]
+			if res == nil {
+				continue
+			}
+			row := Fig3Row{Benchmark: spec.Name, Model: model, Frac: res.Engine.Stats.PatternFrac()}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-12s %-6s", spec.Name, model)
+			for c := 0; c < core.NumPatternCases; c++ {
+				fmt.Fprintf(w, " %6.3f", row.Frac[c])
+				avg[mi][c] += row.Frac[c]
+			}
+			n[mi]++
+			fmt.Fprintln(w)
+		}
+	}
+	for mi, model := range []string{"large", "small"} {
+		if n[mi] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %-6s", "average", model)
+		for c := 0; c < core.NumPatternCases; c++ {
+			fmt.Fprintf(w, " %6.3f", avg[mi][c]/n[mi])
+		}
+		fmt.Fprintln(w)
+	}
+	return rows, nil
+}

@@ -1,0 +1,260 @@
+// Package integrity implements the integrity-tree organizations studied in
+// the paper: the VAULT split-counter tree (arity 64/32/16), Morphable-counter
+// style high-arity trees (arity 128), and the proposed ITESP leaf
+// organizations that embed shared chipkill parity inside leaf nodes
+// (Figures 6 and 7). It provides
+//
+//   - tree geometry and the physical address layout of tree nodes,
+//   - a local-counter overflow model (re-encryption events), and
+//   - a fully functional Merkle-style verified memory (verif.go) used by the
+//     security and reliability tests.
+package integrity
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Geometry describes one integrity-tree organization.
+type Geometry struct {
+	// Name identifies the organization in experiment output.
+	Name string
+	// LeafArity is the number of counters (data blocks) covered by one
+	// 64-byte leaf node.
+	LeafArity int
+	// InteriorArities lists the arity of successive interior levels above
+	// the leaves; the last entry repeats for higher levels.
+	InteriorArities []int
+	// LocalCounterBits is the width of each per-block local counter; a
+	// block's writes overflow the local counter after 2^bits increments
+	// since the node's last rebase, forcing a re-encryption event.
+	LocalCounterBits int
+	// ParitiesPerLeaf is the number of 64-bit shared-parity fields embedded
+	// in each leaf node (0 for non-ITESP organizations).
+	ParitiesPerLeaf int
+	// ParityShare is the number of data blocks XOR-ed into one shared
+	// parity field (Section III-C); 0 if parity is not embedded.
+	ParityShare int
+	// OverflowPenaltyCycles is the CPU-cycle cost of one local-counter
+	// overflow (re-encryption of the node's blocks); the paper charges 4K
+	// cycles for a 128-arity tree.
+	OverflowPenaltyCycles uint64
+	// Morphable selects the bit-exact Morphable-Counter node encoding
+	// (outlier formats + rebasing) for overflow modeling, as in the
+	// Figure 7/11 configurations; otherwise the simpler rebase-only model
+	// is used.
+	Morphable bool
+}
+
+// The tree organizations evaluated in Section V. Overflow penalties scale
+// with arity relative to the paper's 4K cycles at arity 128.
+func vaultGeometry() Geometry {
+	return Geometry{
+		Name:                  "vault",
+		LeafArity:             64,
+		InteriorArities:       []int{32, 16},
+		LocalCounterBits:      6,
+		OverflowPenaltyCycles: 2048,
+	}
+}
+
+// VAULT returns the VAULT baseline tree: arity 64 at the leaves, 32 at the
+// parent level, 16 above (Section V-A).
+func VAULT() Geometry { return vaultGeometry() }
+
+// MEE returns an SGX-MEE-like tree (Gueron [12]): fixed arity 8 at every
+// level, with 56-bit per-block counters that never overflow in practice.
+// Its low arity makes the tree deep — the organization VAULT improves on
+// (Section II-B) — and it is included as the historical baseline.
+func MEE() Geometry {
+	return Geometry{
+		Name:                  "mee",
+		LeafArity:             8,
+		InteriorArities:       []int{8},
+		LocalCounterBits:      56,
+		OverflowPenaltyCycles: 256,
+	}
+}
+
+// ITESP returns the proposed VAULT-based ITESP tree of Figure 6: leaf nodes
+// hold half as many (32) 8-bit local counters plus two 64-bit parity fields,
+// each shared by 16 data blocks; interior levels are unchanged.
+func ITESP() Geometry {
+	return Geometry{
+		Name:                  "itesp",
+		LeafArity:             32,
+		InteriorArities:       []int{32, 16},
+		LocalCounterBits:      8,
+		ParitiesPerLeaf:       2,
+		ParityShare:           16,
+		OverflowPenaltyCycles: 1024,
+	}
+}
+
+// ITESP4P returns the alternative Figure 6 leaf: 32 4-bit local counters and
+// four parity fields shared by 8 blocks each. With 4 parities per leaf, the
+// RBH4 address-mapping policy keeps 4 consecutive row-buffer-local blocks in
+// one leaf (Section III-E).
+func ITESP4P() Geometry {
+	g := ITESP()
+	g.Name = "itesp4p"
+	g.LocalCounterBits = 4
+	g.ParitiesPerLeaf = 4
+	g.ParityShare = 8
+	return g
+}
+
+// SYN128 returns the Morphable-Counter Synergy baseline of Figure 7a:
+// arity 128 at every level, 3-bit local counters.
+func SYN128() Geometry {
+	return Geometry{
+		Name:                  "syn128",
+		LeafArity:             128,
+		InteriorArities:       []int{128},
+		LocalCounterBits:      3,
+		OverflowPenaltyCycles: 4096,
+		Morphable:             true,
+	}
+}
+
+// ITESP64 returns Figure 7b: arity 64 at the leaf level (with embedded
+// shared parity) and 128 elsewhere, 5-bit local counters. Bit budget
+// (BMT-style, hash in the parent): 64 x 5 counter bits + 2 x 64 parity
+// bits = 448 = a full 64-byte node minus the 64-bit global counter.
+func ITESP64() Geometry {
+	return Geometry{
+		Name:                  "itesp64",
+		LeafArity:             64,
+		InteriorArities:       []int{128},
+		LocalCounterBits:      5,
+		ParitiesPerLeaf:       2,
+		ParityShare:           32,
+		OverflowPenaltyCycles: 2048,
+		Morphable:             true,
+	}
+}
+
+// ITESP128 returns Figure 7c: arity 128 throughout including the parity-
+// bearing leaves, 2-bit local counters (128 x 2 + 2 x 64 = 384 bits).
+// The wide 64-way parity sharing this forces is the capacity-vs-overflow
+// trade-off that makes ITESP64 the paper's preferred configuration.
+func ITESP128() Geometry {
+	return Geometry{
+		Name:                  "itesp128",
+		LeafArity:             128,
+		InteriorArities:       []int{128},
+		LocalCounterBits:      2,
+		ParitiesPerLeaf:       2,
+		ParityShare:           64,
+		OverflowPenaltyCycles: 4096,
+		Morphable:             true,
+	}
+}
+
+// HasEmbeddedParity reports whether leaves carry shared parity (ITESP).
+func (g Geometry) HasEmbeddedParity() bool { return g.ParitiesPerLeaf > 0 }
+
+// arityAt returns the arity of interior level l (level 0 is the one directly
+// above the leaves).
+func (g Geometry) arityAt(l int) int {
+	if l < len(g.InteriorArities) {
+		return g.InteriorArities[l]
+	}
+	return g.InteriorArities[len(g.InteriorArities)-1]
+}
+
+// Tree lays out one integrity tree over a contiguous metadata region. Level
+// 0 is the leaf (counter) level; higher levels shrink by the configured
+// arities up to a single root that stays on-chip and occupies no memory.
+type Tree struct {
+	geom   Geometry
+	base   mem.PhysAddr // start of this tree's metadata region
+	levels []levelInfo
+	blocks uint64 // total metadata blocks
+}
+
+type levelInfo struct {
+	nodes  uint64 // node count at this level
+	offset uint64 // block offset of this level within the region
+}
+
+// NewTree builds the tree covering dataBlocks 64-byte data blocks, placing
+// its nodes at base. It panics if dataBlocks is zero.
+func NewTree(geom Geometry, dataBlocks uint64, base mem.PhysAddr) *Tree {
+	if dataBlocks == 0 {
+		panic("integrity: tree must cover at least one block")
+	}
+	t := &Tree{geom: geom, base: base}
+	n := ceilDiv(dataBlocks, uint64(geom.LeafArity))
+	var off uint64
+	level := 0
+	for {
+		t.levels = append(t.levels, levelInfo{nodes: n, offset: off})
+		off += n
+		if n <= 1 {
+			break
+		}
+		n = ceilDiv(n, uint64(geom.arityAt(level)))
+		level++
+	}
+	t.blocks = off
+	return t
+}
+
+func ceilDiv(a, b uint64) uint64 { return (a + b - 1) / b }
+
+// Geometry returns the tree's organization.
+func (t *Tree) Geometry() Geometry { return t.geom }
+
+// NumLevels returns the number of in-memory levels (the root's parent is
+// on-chip and excluded once the top level reaches a single node).
+func (t *Tree) NumLevels() int { return len(t.levels) }
+
+// SizeBlocks returns the total number of 64-byte metadata blocks the tree
+// occupies in memory.
+func (t *Tree) SizeBlocks() uint64 { return t.blocks }
+
+// LeafIndex returns the leaf-node index covering the given tree-local data
+// block index (the caller supplies either a physical block number for shared
+// trees or an enclave-local block index for isolated trees).
+func (t *Tree) LeafIndex(localBlock uint64) uint64 {
+	return (localBlock / uint64(t.geom.LeafArity)) % t.levels[0].nodes
+}
+
+// NodeAddr returns the physical address of node idx at the given level.
+func (t *Tree) NodeAddr(level int, idx uint64) mem.PhysAddr {
+	li := t.levels[level]
+	return t.base + mem.PhysAddr((li.offset+idx%li.nodes)*mem.BlockSize)
+}
+
+// LeafAddr returns the physical address of the leaf node covering
+// localBlock.
+func (t *Tree) LeafAddr(localBlock uint64) mem.PhysAddr {
+	return t.NodeAddr(0, t.LeafIndex(localBlock))
+}
+
+// Walk returns the addresses of the leaf covering localBlock followed by its
+// ancestors up to (but excluding) the root. The top level always has a
+// single node — the root — which resides on-chip and is never fetched, so a
+// tree whose leaves fit in one node generates no memory accesses at all.
+// The result is appended to dst to avoid per-access allocation.
+func (t *Tree) Walk(localBlock uint64, dst []mem.PhysAddr) []mem.PhysAddr {
+	idx := t.LeafIndex(localBlock)
+	for level := 0; level < len(t.levels)-1; level++ {
+		dst = append(dst, t.NodeAddr(level, idx))
+		idx /= uint64(t.geom.arityAt(level))
+	}
+	return dst
+}
+
+// StorageOverhead returns the tree's metadata size as a fraction of the
+// protected data size (Table I's "Integrity Tree" column).
+func (t *Tree) StorageOverhead(dataBlocks uint64) float64 {
+	return float64(t.blocks) / float64(dataBlocks)
+}
+
+// String summarizes the tree for logs.
+func (t *Tree) String() string {
+	return fmt.Sprintf("%s tree: %d levels, %d metadata blocks", t.geom.Name, len(t.levels), t.blocks)
+}

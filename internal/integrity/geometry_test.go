@@ -1,0 +1,225 @@
+package integrity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestGeometriesConsistent(t *testing.T) {
+	for _, g := range []Geometry{MEE(), VAULT(), ITESP(), ITESP4P(), SYN128(), ITESP64(), ITESP128()} {
+		if g.LeafArity <= 0 || len(g.InteriorArities) == 0 {
+			t.Errorf("%s: bad arities", g.Name)
+		}
+		if g.HasEmbeddedParity() {
+			if g.LeafArity/g.ParitiesPerLeaf != g.ParityShare {
+				t.Errorf("%s: LeafArity/ParitiesPerLeaf = %d, want ParityShare %d",
+					g.Name, g.LeafArity/g.ParitiesPerLeaf, g.ParityShare)
+			}
+			// Bit feasibility: counters + embedded parity must fit the 448
+			// payload bits of a 64-byte node beside its global counter.
+			bits := g.LeafArity*g.LocalCounterBits + 64*g.ParitiesPerLeaf
+			if bits > 448 {
+				t.Errorf("%s: leaf needs %d bits, node offers 448", g.Name, bits)
+			}
+		}
+	}
+	// The morphable payload budget reproduces the paper's stated local
+	// counter widths: 3 bits for SYN128, 5 for ITESP64, 2 for ITESP128.
+	for _, tc := range []struct {
+		g    Geometry
+		want int
+	}{
+		{SYN128(), 3}, {ITESP64(), 5}, {ITESP128(), 2},
+	} {
+		s := NewMorphableStore(tc.g)
+		b := NewMorphableBlock(tc.g.LeafArity, s.payload)
+		if f, ok := b.CurrentFormat(); !ok || f.SmallBits != tc.want {
+			t.Errorf("%s: uniform width %d bits, paper states %d", tc.g.Name, f.SmallBits, tc.want)
+		}
+	}
+}
+
+func TestVaultTreeShape(t *testing.T) {
+	// 1 GB of data = 16M blocks; VAULT leaves cover 64 each.
+	dataBlocks := uint64(1) << 24
+	tr := NewTree(VAULT(), dataBlocks, 0)
+	// Level sizes: 16M/64 = 256K leaves, /32 = 8K, /16 = 512, /16 = 32,
+	// /16 = 2, /16 = 1.
+	want := []uint64{1 << 18, 1 << 13, 1 << 9, 1 << 5, 2, 1}
+	if tr.NumLevels() != len(want) {
+		t.Fatalf("levels = %d, want %d", tr.NumLevels(), len(want))
+	}
+	for i, w := range want {
+		if tr.levels[i].nodes != w {
+			t.Errorf("level %d nodes = %d, want %d", i, tr.levels[i].nodes, w)
+		}
+	}
+}
+
+func TestWalkExcludesRoot(t *testing.T) {
+	tr := NewTree(VAULT(), 1<<24, 0)
+	walk := tr.Walk(0, nil)
+	if len(walk) != tr.NumLevels()-1 {
+		t.Fatalf("walk length = %d, want %d (root stays on-chip)", len(walk), tr.NumLevels()-1)
+	}
+	// A tiny tree fitting in one node generates no fetches.
+	tiny := NewTree(VAULT(), 10, 0)
+	if w := tiny.Walk(3, nil); len(w) != 0 {
+		t.Fatalf("single-node tree walk = %d fetches, want 0", len(w))
+	}
+}
+
+func TestWalkAddressesDistinctAndInRegion(t *testing.T) {
+	tr := NewTree(ITESP(), 1<<20, 0x4000_0000)
+	f := func(block uint32) bool {
+		walk := tr.Walk(uint64(block)%(1<<20), nil)
+		seen := map[mem.PhysAddr]bool{}
+		for _, a := range walk {
+			if a < 0x4000_0000 || a >= 0x4000_0000+mem.PhysAddr(tr.SizeBlocks()*mem.BlockSize) {
+				return false
+			}
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborsShareLeaf(t *testing.T) {
+	tr := NewTree(VAULT(), 1<<20, 0)
+	if tr.LeafAddr(0) != tr.LeafAddr(63) {
+		t.Fatal("blocks 0 and 63 should share a VAULT leaf (arity 64)")
+	}
+	if tr.LeafAddr(63) == tr.LeafAddr(64) {
+		t.Fatal("blocks 63 and 64 should be in different leaves")
+	}
+}
+
+func TestITESPLeafDoubling(t *testing.T) {
+	dataBlocks := uint64(1) << 24
+	vault := NewTree(VAULT(), dataBlocks, 0)
+	itesp := NewTree(ITESP(), dataBlocks, 0)
+	// ITESP halves leaf arity, doubling the leaf count (Section III-D
+	// "Larger Tree").
+	if itesp.levels[0].nodes != 2*vault.levels[0].nodes {
+		t.Fatalf("itesp leaves = %d, want 2x vault's %d", itesp.levels[0].nodes, vault.levels[0].nodes)
+	}
+}
+
+// TestTableIOverheads reproduces the storage-overhead relationships from
+// Table I: the integrity-tree overhead of VAULT-like trees is ~1.6% and of
+// 128-arity trees ~0.8%, and ITESP eliminates the separate MAC/parity
+// region entirely.
+func TestTableIOverheads(t *testing.T) {
+	dataBlocks := uint64(1) << 30 // 64 GB
+	check := func(name string, got, want, tol float64) {
+		t.Helper()
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s overhead = %.4f, want about %.4f", name, got, want)
+		}
+	}
+	vault := NewTree(VAULT(), dataBlocks, 0)
+	check("vault-tree", vault.StorageOverhead(dataBlocks), 0.016, 0.002)
+
+	itesp := NewTree(ITESP(), dataBlocks, 0)
+	check("itesp64-tree", itesp.StorageOverhead(dataBlocks), 0.032, 0.004)
+
+	syn128 := NewTree(SYN128(), dataBlocks, 0)
+	check("syn128-tree", syn128.StorageOverhead(dataBlocks), 0.008, 0.001)
+
+	itesp64 := NewTree(ITESP64(), dataBlocks, 0)
+	check("itesp64-morph", itesp64.StorageOverhead(dataBlocks), 0.016, 0.002)
+
+	itesp128 := NewTree(ITESP128(), dataBlocks, 0)
+	check("itesp128-morph", itesp128.StorageOverhead(dataBlocks), 0.008, 0.001)
+}
+
+func TestZeroBlocksPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty tree")
+		}
+	}()
+	NewTree(VAULT(), 0, 0)
+}
+
+func TestCounterStoreMonotonic(t *testing.T) {
+	s := NewCounterStore(VAULT())
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		s.Write(5)
+		v := s.Value(5)
+		if v <= last {
+			t.Fatalf("counter not strictly increasing: %d after %d", v, last)
+		}
+		last = v
+	}
+}
+
+func TestCounterOverflowRateTracksWidth(t *testing.T) {
+	// Random single-block writes (no locality): narrower local counters
+	// must overflow more often.
+	rate := func(g Geometry) float64 {
+		s := NewCounterStore(g)
+		for i := 0; i < 20000; i++ {
+			// Writes concentrated on one slot defeat rebasing.
+			s.Write(uint64(i%4) * uint64(g.LeafArity)) // slot 0 of 4 nodes
+		}
+		return s.OverflowRate()
+	}
+	r2 := rate(ITESP128()) // 2-bit locals
+	r3 := rate(SYN128())   // 3-bit locals
+	r5 := rate(ITESP64())  // 5-bit locals
+	if !(r2 > r3 && r3 > r5) {
+		t.Fatalf("overflow rates not ordered by width: 2b=%v 3b=%v 5b=%v", r2, r3, r5)
+	}
+}
+
+func TestRebaseAbsorbsStreamingWrites(t *testing.T) {
+	// Uniform writes across a node's blocks advance all locals together;
+	// rebasing should absorb most overflows (Morphable's insight).
+	g := SYN128()
+	s := NewCounterStore(g)
+	for round := 0; round < 64; round++ {
+		for b := uint64(0); b < uint64(g.LeafArity); b++ {
+			s.Write(b)
+		}
+	}
+	if s.Rebases.Value() == 0 {
+		t.Fatal("streaming writes should trigger rebases")
+	}
+	if s.Overflows.Value() > s.Rebases.Value()/2 {
+		t.Fatalf("overflows=%d rebases=%d; rebasing should absorb streaming writes",
+			s.Overflows.Value(), s.Rebases.Value())
+	}
+}
+
+// Property: counter values of different blocks never interfere: writing
+// block a never changes block b's value unless a re-encryption occurred in
+// their shared node.
+func TestCounterIndependenceAcrossNodes(t *testing.T) {
+	g := VAULT()
+	f := func(a, b uint16) bool {
+		blockA, blockB := uint64(a), uint64(b)
+		if blockA/uint64(g.LeafArity) == blockB/uint64(g.LeafArity) {
+			return true // same node: re-encryption may legally touch both
+		}
+		s := NewCounterStore(g)
+		s.Write(blockB)
+		before := s.Value(blockB)
+		for i := 0; i < 100; i++ {
+			s.Write(blockA)
+		}
+		return s.Value(blockB) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

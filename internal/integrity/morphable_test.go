@@ -1,0 +1,206 @@
+package integrity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMorphableFormatsAvailable(t *testing.T) {
+	b := NewMorphableBlock(128, 384)
+	f, ok := b.CurrentFormat()
+	if !ok {
+		t.Fatal("fresh block must be representable")
+	}
+	if f.Name != "uniform" || f.SmallBits != 3 {
+		t.Fatalf("fresh 128-arity block should use uniform 3-bit, got %+v", f)
+	}
+}
+
+func TestMorphableMonotonic(t *testing.T) {
+	b := NewMorphableBlock(64, 384)
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		b.Write(5)
+		v := b.Value(5)
+		if v <= last {
+			t.Fatalf("counter not strictly increasing at write %d: %d after %d", i, v, last)
+		}
+		last = v
+	}
+}
+
+func TestMorphableOutlierAbsorbsSkew(t *testing.T) {
+	// One hot block among cold siblings: the uniform 3-bit format
+	// overflows at 8 writes, but the outlier format carries the hot
+	// counter to hundreds — the Morphable Counters insight.
+	b := NewMorphableBlock(128, 384)
+	overflows := 0
+	for i := 0; i < 500; i++ {
+		if b.Write(7) {
+			overflows++
+		}
+	}
+	if overflows > 1 {
+		t.Fatalf("outlier format should absorb a single hot counter: %d overflows in 500 writes", overflows)
+	}
+	f, _ := b.CurrentFormat()
+	if f.MaxLarge == 0 {
+		t.Fatal("hot counter should have morphed the node to an outlier format")
+	}
+}
+
+func TestMorphableUniformPatternRebases(t *testing.T) {
+	// All counters advancing together: rebasing absorbs everything.
+	b := NewMorphableBlock(64, 384)
+	overflows := 0
+	for round := 0; round < 200; round++ {
+		for s := 0; s < 64; s++ {
+			if b.Write(s) {
+				overflows++
+			}
+		}
+	}
+	if overflows > 0 {
+		t.Fatalf("streaming writes should never overflow (rebase): %d overflows", overflows)
+	}
+}
+
+func TestMorphableOverflowResetsLocals(t *testing.T) {
+	b := NewMorphableBlock(128, 384)
+	// Hammer enough distinct slots that no format fits.
+	writes := 0
+	overflowed := false
+	for s := 0; s < 32 && !overflowed; s++ {
+		for i := 0; i < 5000; i++ {
+			writes++
+			if b.Write(s) {
+				overflowed = true
+				break
+			}
+		}
+	}
+	if !overflowed {
+		t.Fatal("skewed hammering should eventually overflow")
+	}
+	// After re-encryption every value is representable again and values
+	// stay monotone (base jumped past all old values).
+	if _, ok := b.CurrentFormat(); !ok {
+		t.Fatal("post-overflow state must be representable")
+	}
+}
+
+func TestMorphableEncodeDecodeRoundTrip(t *testing.T) {
+	for _, arity := range []int{64, 128} {
+		b := NewMorphableBlock(arity, 384)
+		// Mix of patterns: streaming + one hot slot.
+		for round := 0; round < 6; round++ {
+			for s := 0; s < arity; s++ {
+				b.Write(s)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			b.Write(3)
+		}
+		enc := b.Encode()
+		dec, err := DecodeMorphable(enc, arity, 384)
+		if err != nil {
+			t.Fatalf("arity %d: %v", arity, err)
+		}
+		for s := 0; s < arity; s++ {
+			if dec.Value(s) != b.Value(s) {
+				t.Fatalf("arity %d slot %d: decoded %d, want %d", arity, s, dec.Value(s), b.Value(s))
+			}
+		}
+	}
+}
+
+// Property: encode/decode round-trips after arbitrary write sequences.
+func TestMorphableRoundTripProperty(t *testing.T) {
+	f := func(slots []uint8) bool {
+		b := NewMorphableBlock(64, 384)
+		for _, s := range slots {
+			b.Write(int(s) % 64)
+		}
+		dec, err := DecodeMorphable(b.Encode(), 64, 384)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < 64; s++ {
+			if dec.Value(s) != b.Value(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorphableEncodingFitsNode(t *testing.T) {
+	// The encoded payload must fit the 64-byte node budget: format id +
+	// base + payload <= 64B + small slack for the id byte and outlier
+	// count (absorbed by the hash field in a real node layout).
+	b := NewMorphableBlock(128, 384)
+	for i := 0; i < 300; i++ {
+		b.Write(i % 7)
+	}
+	if got := len(b.Encode()); got > 1+8+48+2 {
+		t.Fatalf("encoding is %d bytes; payload budget exceeded", got)
+	}
+}
+
+func TestDecodeMorphableErrors(t *testing.T) {
+	if _, err := DecodeMorphable([]byte{1, 2}, 64, 384); err == nil {
+		t.Fatal("short input should error")
+	}
+	b := NewMorphableBlock(64, 384)
+	enc := b.Encode()
+	enc[0] = 9
+	if _, err := DecodeMorphable(enc, 64, 384); err == nil {
+		t.Fatal("bad format id should error")
+	}
+}
+
+func TestMorphableStoreVsUniformOverflowRate(t *testing.T) {
+	// Under skewed (zipf-ish) writes, the morphable store must overflow
+	// less often than the plain rebase-only store with the same budget.
+	geom := SYN128()
+	plain := NewCounterStore(geom)
+	morph := NewMorphableStore(geom)
+	// Deterministic skew: slot s gets writes proportional to 1/(s+1).
+	for round := 0; round < 60; round++ {
+		for s := uint64(0); s < 16; s++ {
+			n := 16 / (int(s) + 1)
+			for i := 0; i < n; i++ {
+				plain.Write(s)
+				morph.Write(s)
+			}
+		}
+	}
+	if morph.OverflowRate() >= plain.OverflowRate() {
+		t.Fatalf("morphable rate %.4f should beat uniform rate %.4f",
+			morph.OverflowRate(), plain.OverflowRate())
+	}
+}
+
+func TestMorphableStoreValueIsolation(t *testing.T) {
+	s := NewMorphableStore(ITESP64())
+	s.Write(5)
+	s.Write(5)
+	if s.Value(5) != 2 {
+		t.Fatalf("value = %d, want 2", s.Value(5))
+	}
+	if s.Value(500) != 0 {
+		t.Fatal("untouched block should read 0")
+	}
+}
+
+func TestMorphablePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMorphableBlock(0, 384)
+}

@@ -1,0 +1,167 @@
+package llc
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func refs(rs ...trace.Record) trace.Source { return trace.NewSliceSource(rs) }
+
+func rd(addr uint64, gap uint32) trace.Record {
+	return trace.Record{Gap: gap, Type: mem.Read, VAddr: mem.VirtAddr(addr)}
+}
+
+func wr(addr uint64, gap uint32) trace.Record {
+	return trace.Record{Gap: gap, Type: mem.Write, VAddr: mem.VirtAddr(addr)}
+}
+
+// tiny returns a 64 KB 2-way LLC for deterministic eviction tests.
+func tiny(src trace.Source) *Filter {
+	f := NewFilter(src, Config{SizeMB: 1, Ways: 2})
+	return f
+}
+
+func TestMissEmitsFill(t *testing.T) {
+	f := tiny(refs(rd(0x1000, 5)))
+	rec, ok := f.Next()
+	if !ok || rec.Type != mem.Read || rec.VAddr != 0x1000 || rec.Gap != 5 {
+		t.Fatalf("got %+v, want read fill of 0x1000 gap 5", rec)
+	}
+	if _, ok := f.Next(); ok {
+		t.Fatal("source exhausted; no more records")
+	}
+}
+
+func TestHitsFoldIntoGap(t *testing.T) {
+	f := tiny(refs(rd(0x1000, 5), rd(0x1000, 3), rd(0x1010, 2), rd(0x2000, 4)))
+	first, _ := f.Next()
+	if first.Gap != 5 {
+		t.Fatalf("first gap = %d, want 5", first.Gap)
+	}
+	second, ok := f.Next()
+	if !ok || second.VAddr != 0x2000 {
+		t.Fatalf("second record %+v, want miss of 0x2000", second)
+	}
+	// Gaps of the two hits (3+1, 2+1) fold into the next miss's gap (+4).
+	if second.Gap != 3+1+2+1+4 {
+		t.Fatalf("second gap = %d, want 11", second.Gap)
+	}
+	if f.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", f.HitRate())
+	}
+}
+
+func TestWriteAllocateAndWriteback(t *testing.T) {
+	// 1 MB 2-way: sets = 8192; same-set stride = 8192*64 = 512 KB.
+	const stride = 512 << 10
+	f := tiny(refs(
+		wr(0*stride, 0), // write miss -> fill, line dirty
+		rd(1*stride, 0), // fills the second way
+		rd(2*stride, 0), // evicts the dirty line -> writeback
+	))
+	a, _ := f.Next()
+	if a.Type != mem.Read {
+		t.Fatal("write miss must emit a fill (write-allocate)")
+	}
+	b, _ := f.Next()
+	if b.Type != mem.Read || b.VAddr != stride {
+		t.Fatalf("got %+v, want fill of second line", b)
+	}
+	c, _ := f.Next()
+	if c.Type != mem.Read || c.VAddr != 2*stride {
+		t.Fatalf("got %+v, want fill of third line", c)
+	}
+	d, ok := f.Next()
+	if !ok || d.Type != mem.Write || d.VAddr != 0 {
+		t.Fatalf("got %+v, want writeback of dirty line 0", d)
+	}
+	if f.Writebacks.Value() != 1 {
+		t.Fatalf("writebacks = %d, want 1", f.Writebacks.Value())
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	const stride = 512 << 10
+	f := tiny(refs(rd(0, 0), rd(stride, 0), rd(2*stride, 0)))
+	for i := 0; i < 3; i++ {
+		rec, ok := f.Next()
+		if !ok || rec.Type != mem.Read {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+	}
+	if _, ok := f.Next(); ok {
+		t.Fatal("clean eviction must not emit a writeback")
+	}
+}
+
+func TestFullyCachedSourceTerminates(t *testing.T) {
+	// An infinite source hitting one line forever must not hang.
+	f := NewFilter(&loop{rec: rd(0x40, 0)}, Config{SizeMB: 1, Ways: 2})
+	f.maxProbes = 10_000
+	if rec, ok := f.Next(); !ok || rec.VAddr != 0x40 {
+		t.Fatalf("first access should miss: %+v", rec)
+	}
+	if _, ok := f.Next(); ok {
+		t.Fatal("fully cached source should terminate the trace")
+	}
+}
+
+type loop struct{ rec trace.Record }
+
+func (l *loop) Next() (trace.Record, bool) { return l.rec, true }
+
+// TestFilterOverGenerator runs a real benchmark generator through the LLC
+// and checks the emergent post-LLC stream is sane: a plausible writeback
+// share and monotone gap accounting.
+func TestFilterOverGenerator(t *testing.T) {
+	spec, _ := workload.ByName("pr")
+	// A 1 MB LLC (scaled down with the trace length) so capacity evictions
+	// start well inside the test.
+	f := NewFilter(workload.NewGenerator(spec, 1), Config{SizeMB: 1, Ways: 16})
+	reads, writes := 0, 0
+	for i := 0; i < 60_000; i++ {
+		rec, ok := f.Next()
+		if !ok {
+			t.Fatal("generator-backed filter ran dry")
+		}
+		if rec.Type == mem.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	frac := float64(writes) / float64(reads+writes)
+	if frac < 0.05 || frac > 0.6 {
+		t.Fatalf("emergent writeback fraction %.2f implausible", frac)
+	}
+}
+
+func TestGapSaturation(t *testing.T) {
+	// Accumulated hit gaps beyond uint32 range must clamp, not wrap.
+	f := NewFilter(refs(
+		trace.Record{Gap: 1 << 31, Type: mem.Read, VAddr: 0},
+		trace.Record{Gap: 1 << 31, Type: mem.Read, VAddr: 0}, // hit, huge gap
+		trace.Record{Gap: 1 << 31, Type: mem.Read, VAddr: 1 << 20},
+	), Config{SizeMB: 1, Ways: 2})
+	a, _ := f.Next()
+	if a.Gap != 1<<31 {
+		t.Fatalf("first gap = %d", a.Gap)
+	}
+	b, ok := f.Next()
+	if !ok {
+		t.Fatal("second miss missing")
+	}
+	if b.Gap < 1<<31 {
+		t.Fatalf("gap wrapped: %d", b.Gap)
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	f := NewFilter(refs(rd(0, 0)), Config{})
+	if _, ok := f.Next(); !ok {
+		t.Fatal("default-config filter should work")
+	}
+}

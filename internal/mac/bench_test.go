@@ -1,0 +1,32 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func BenchmarkSipHashBlock(b *testing.B) {
+	k := Key{K0: 1, K1: 2}
+	data := make([]byte, mem.BlockSize)
+	b.SetBytes(mem.BlockSize)
+	for i := 0; i < b.N; i++ {
+		Sum64(k, data)
+	}
+}
+
+func BenchmarkSum64Words(b *testing.B) {
+	k := Key{K0: 1, K1: 2}
+	for i := 0; i < b.N; i++ {
+		Sum64Words(k, 1, 2, 3, 4, 5, 6, 7, 8)
+	}
+}
+
+func BenchmarkEngineCompute(b *testing.B) {
+	e := NewEngine(Key{K0: 1, K1: 2})
+	data := make([]byte, mem.BlockSize)
+	b.SetBytes(mem.BlockSize)
+	for i := 0; i < b.N; i++ {
+		e.Compute(0x1000, uint64(i), data)
+	}
+}

@@ -1,0 +1,51 @@
+package mac
+
+import (
+	"encoding/binary"
+
+	"repro/internal/mem"
+)
+
+// Engine computes and verifies the per-block MACs used for both integrity
+// verification and (in Synergy/ITESP) error detection. The MAC binds the
+// data block, its physical address, and its encryption counter:
+//
+//	MAC = f(Data, Addr, Counter, Key)
+//
+// matching the construction in Section III-F.
+type Engine struct {
+	key Key
+}
+
+// NewEngine creates a MAC engine with the given key.
+func NewEngine(key Key) *Engine { return &Engine{key: key} }
+
+// Compute returns the 64-bit MAC of a 64-byte data block at addr with the
+// given counter value. It panics if data is not BlockSize bytes, which
+// indicates a programming error.
+func (e *Engine) Compute(addr mem.PhysAddr, counter uint64, data []byte) uint64 {
+	if len(data) != mem.BlockSize {
+		panic("mac: data block must be 64 bytes")
+	}
+	var buf [mem.BlockSize + 16]byte
+	copy(buf[:], data)
+	binary.LittleEndian.PutUint64(buf[mem.BlockSize:], uint64(addr))
+	binary.LittleEndian.PutUint64(buf[mem.BlockSize+8:], counter)
+	return Sum64(e.key, buf[:])
+}
+
+// Verify recomputes the MAC and compares it with the stored value.
+func (e *Engine) Verify(addr mem.PhysAddr, counter uint64, data []byte, stored uint64) bool {
+	return e.Compute(addr, counter, data) == stored
+}
+
+// MACsPerBlock is the number of 8-byte MACs packed in one 64-byte metadata
+// line in the VAULT baseline's separate MAC region.
+const MACsPerBlock = mem.BlockSize / mem.MACSize
+
+// BlockFor returns the index of the MAC metadata block holding the MAC for
+// the given data block number, and the slot within it. In VAULT, a single
+// MAC-cache line covers eight consecutive data blocks (Section II-B).
+func BlockFor(dataBlock uint64) (macBlock uint64, slot int) {
+	return dataBlock / MACsPerBlock, int(dataBlock % MACsPerBlock)
+}

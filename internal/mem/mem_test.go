@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressArithmetic(t *testing.T) {
+	a := PhysAddr(0x12345)
+	if a.Block() != 0x12345>>6 {
+		t.Fatalf("block = %#x", a.Block())
+	}
+	if a.Page() != 0x12345>>12 {
+		t.Fatalf("page = %#x", a.Page())
+	}
+	if a.BlockAligned() != 0x12340 {
+		t.Fatalf("aligned = %#x", a.BlockAligned())
+	}
+	if a.PageOffset() != 0x345 {
+		t.Fatalf("page offset = %#x", a.PageOffset())
+	}
+	if a.BlockInPage() != 0x345>>6 {
+		t.Fatalf("block in page = %#x", a.BlockInPage())
+	}
+	v := VirtAddr(0x7fff12345678)
+	if v.Page() != 0x7fff12345678>>12 {
+		t.Fatalf("vpage = %#x", v.Page())
+	}
+}
+
+// Property: address decomposition is consistent — page*PageSize + offset
+// reconstructs the address, and the block-in-page is within range.
+func TestAddressDecompositionConsistent(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := PhysAddr(raw)
+		if PhysAddr(a.Page()*PageSize+a.PageOffset()) != a {
+			return false
+		}
+		if a.BlockInPage() >= BlocksPage {
+			return false
+		}
+		return a.BlockAligned()%BlockSize == 0 && a.BlockAligned() <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if BlocksPage != 64 {
+		t.Fatalf("BlocksPage = %d, want 64", BlocksPage)
+	}
+	if 1<<BlockShift != BlockSize || 1<<PageShift != PageSize {
+		t.Fatal("shift constants inconsistent with sizes")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Read.String() != "READ" || Write.String() != "WRITE" {
+		t.Fatal("AccessType strings wrong")
+	}
+	want := map[Kind]string{
+		KindData: "data", KindMAC: "mac", KindCounter: "counter",
+		KindTree: "tree", KindParity: "parity",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Fatalf("Kind(%d) = %q, want %q", k, k.String(), w)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should be unknown")
+	}
+}
+
+func TestNumKinds(t *testing.T) {
+	if NumKinds != 5 {
+		t.Fatalf("NumKinds = %d, want 5", NumKinds)
+	}
+}

@@ -1,0 +1,133 @@
+// Package parity implements Synergy-style chipkill error-correction parity
+// and the paper's shared-parity extension (Section III-C/III-D).
+//
+// In Synergy, a 64-bit parity field protects one 64-byte data block: the
+// block is striped across the 8 data chips of a ×8 rank (8 pins × 8 beats
+// per chip), and parity bit (beat, pin) is the XOR of that pin/beat position
+// across all chips. When the MAC flags an error, correction walks every
+// chip-failure hypothesis, reconstructs the block assuming that chip failed,
+// and accepts the reconstruction whose MAC matches.
+//
+// The paper shares one parity field across N blocks placed in different
+// ranks: parity = XOR of the per-block parities. Correction then assumes the
+// other N-1 blocks are error-free, which fails only under concurrent
+// independent multi-chip errors (the Table II reliability analysis).
+package parity
+
+import (
+	"repro/internal/mem"
+)
+
+// Rank data layout constants for a ×8 ECC DIMM: 8 data chips, each
+// contributing 8 bits (pins) per beat, over 8 beats = 64 bytes of data.
+const (
+	DataChips   = 8
+	PinsPerChip = 8
+	Beats       = 8
+)
+
+// chipBits extracts the 8 bytes (one per beat) that DRAM chip c contributes
+// to a 64-byte block. Byte i of the block travels on beat i/8... the JEDEC
+// mapping is: during beat b, chip c drives byte data[b*DataChips+c].
+func chipBits(data *[mem.BlockSize]byte, c int) (bits [Beats]byte) {
+	for b := 0; b < Beats; b++ {
+		bits[b] = data[b*DataChips+c]
+	}
+	return bits
+}
+
+// BlockParity computes the 64-bit Synergy parity of one data block: bit
+// (beat*8 + pin) is the XOR across chips of that pin's value in that beat.
+// Equivalently, it is the XOR of each chip's per-beat byte, packed
+// beat-major.
+func BlockParity(data *[mem.BlockSize]byte) uint64 {
+	var p uint64
+	for b := 0; b < Beats; b++ {
+		var x byte
+		for c := 0; c < DataChips; c++ {
+			x ^= data[b*DataChips+c]
+		}
+		p |= uint64(x) << (8 * uint(b))
+	}
+	return p
+}
+
+// SharedParity XORs the parities of blocks (which must reside in different
+// ranks for chipkill to hold) into a single 64-bit field.
+func SharedParity(blocks []*[mem.BlockSize]byte) uint64 {
+	var p uint64
+	for _, b := range blocks {
+		p ^= BlockParity(b)
+	}
+	return p
+}
+
+// KillChip overwrites every bit contributed by chip c with garbage derived
+// from seed, modeling a full-chip (chipkill) failure. It returns the
+// corrupted copy.
+func KillChip(data [mem.BlockSize]byte, c int, seed byte) [mem.BlockSize]byte {
+	for b := 0; b < Beats; b++ {
+		data[b*DataChips+c] ^= seed | 1 // ensure at least one bit flips
+	}
+	return data
+}
+
+// FlipBit flips a single bit of the block (soft error model).
+func FlipBit(data [mem.BlockSize]byte, bit int) [mem.BlockSize]byte {
+	data[(bit/8)%mem.BlockSize] ^= 1 << (uint(bit) % 8)
+	return data
+}
+
+// ReconstructChip rebuilds the hypothesis that chip c of the observed block
+// failed: chip c's bits are recomputed from the parity field XOR the other
+// chips of this block XOR the parity contribution of the sibling blocks
+// sharing the field (empty for unshared Synergy parity).
+func ReconstructChip(observed [mem.BlockSize]byte, c int, parity uint64, siblings []*[mem.BlockSize]byte) [mem.BlockSize]byte {
+	// Residual parity after removing the error-free siblings.
+	for _, s := range siblings {
+		parity ^= BlockParity(s)
+	}
+	fixed := observed
+	for b := 0; b < Beats; b++ {
+		var x byte
+		for cc := 0; cc < DataChips; cc++ {
+			if cc != c {
+				x ^= observed[b*DataChips+cc]
+			}
+		}
+		fixed[b*DataChips+c] = x ^ byte(parity>>(8*uint(b)))
+	}
+	return fixed
+}
+
+// Verifier checks a candidate reconstruction, typically by recomputing the
+// block's MAC (Synergy uses the MAC for error detection and to select the
+// correct reconstruction).
+type Verifier func(candidate *[mem.BlockSize]byte) bool
+
+// Correct walks every chip-failure hypothesis for the observed (corrupted)
+// block and returns the first reconstruction accepted by verify, along with
+// the failed-chip index. ok is false if no hypothesis (including "no chip
+// failed") verifies — a detected-uncorrectable error (DUE), or if more than
+// one distinct reconstruction verifies (ambiguous, also a DUE per Table II
+// Case 3).
+func Correct(observed [mem.BlockSize]byte, parity uint64, siblings []*[mem.BlockSize]byte, verify Verifier) (fixed [mem.BlockSize]byte, chip int, ok bool) {
+	if verify(&observed) {
+		return observed, -1, true
+	}
+	found := false
+	for c := 0; c < DataChips; c++ {
+		cand := ReconstructChip(observed, c, parity, siblings)
+		if verify(&cand) {
+			if found && cand != fixed {
+				// Two distinct valid reconstructions: cannot isolate the
+				// erroneous device (Table II Case 3).
+				return [mem.BlockSize]byte{}, -1, false
+			}
+			if !found {
+				fixed, chip, found = cand, c, true
+			}
+		}
+	}
+	return fixed, chip, found
+}

@@ -1,0 +1,246 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func randBlock(r *rand.Rand) [mem.BlockSize]byte {
+	var b [mem.BlockSize]byte
+	r.Read(b[:])
+	return b
+}
+
+func TestBlockParityLinear(t *testing.T) {
+	// Parity is XOR-linear: P(a^b) == P(a)^P(b).
+	f := func(a, b [mem.BlockSize]byte) bool {
+		var x [mem.BlockSize]byte
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		return BlockParity(&x) == BlockParity(&a)^BlockParity(&b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockParityZero(t *testing.T) {
+	var z [mem.BlockSize]byte
+	if BlockParity(&z) != 0 {
+		t.Fatal("parity of zero block must be zero")
+	}
+}
+
+func TestChipkillReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		orig := randBlock(r)
+		p := BlockParity(&orig)
+		chip := trial % DataChips
+		corrupted := KillChip(orig, chip, byte(trial+1))
+		if corrupted == orig {
+			t.Fatal("KillChip did not corrupt")
+		}
+		fixed := ReconstructChip(corrupted, chip, p, nil)
+		if fixed != orig {
+			t.Fatalf("trial %d: reconstruction of chip %d failed", trial, chip)
+		}
+	}
+}
+
+func TestSharedParityReconstruction(t *testing.T) {
+	// N blocks share a parity; kill a chip in one of them; reconstruct
+	// using the other N-1 error-free blocks.
+	r := rand.New(rand.NewSource(2))
+	const n = 16
+	blocks := make([]*[mem.BlockSize]byte, n)
+	for i := range blocks {
+		b := randBlock(r)
+		blocks[i] = &b
+	}
+	shared := SharedParity(blocks)
+	victim := 5
+	orig := *blocks[victim]
+	corrupted := KillChip(orig, 3, 0x5a)
+	var siblings []*[mem.BlockSize]byte
+	for i, b := range blocks {
+		if i != victim {
+			siblings = append(siblings, b)
+		}
+	}
+	fixed := ReconstructChip(corrupted, 3, shared, siblings)
+	if fixed != orig {
+		t.Fatal("shared-parity reconstruction failed")
+	}
+}
+
+func TestCorrectFindsFailedChip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	orig := randBlock(r)
+	p := BlockParity(&orig)
+	verify := func(c *[mem.BlockSize]byte) bool { return *c == orig }
+	for chip := 0; chip < DataChips; chip++ {
+		corrupted := KillChip(orig, chip, 0x33)
+		fixed, found, ok := Correct(corrupted, p, nil, verify)
+		if !ok {
+			t.Fatalf("chip %d: correction reported DUE", chip)
+		}
+		if fixed != orig || found != chip {
+			t.Fatalf("chip %d: wrong reconstruction (found=%d)", chip, found)
+		}
+	}
+}
+
+func TestCorrectCleanBlockShortCircuits(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	orig := randBlock(r)
+	verify := func(c *[mem.BlockSize]byte) bool { return *c == orig }
+	fixed, chip, ok := Correct(orig, BlockParity(&orig), nil, verify)
+	if !ok || chip != -1 || fixed != orig {
+		t.Fatal("clean block should verify without correction")
+	}
+}
+
+func TestCorrectTwoChipFailureIsDUE(t *testing.T) {
+	// Concurrent failures in two chips of one rank are uncorrectable
+	// (Table II Case 4).
+	r := rand.New(rand.NewSource(5))
+	orig := randBlock(r)
+	p := BlockParity(&orig)
+	verify := func(c *[mem.BlockSize]byte) bool { return *c == orig }
+	corrupted := KillChip(KillChip(orig, 1, 0x11), 6, 0x22)
+	if _, _, ok := Correct(corrupted, p, nil, verify); ok {
+		t.Fatal("two-chip failure must be a DUE")
+	}
+}
+
+func TestSharedParityFailsOnConcurrentSiblingError(t *testing.T) {
+	// The ITESP weakening (Table II): if a sibling block sharing the
+	// parity also has an error, reconstruction produces the wrong data.
+	r := rand.New(rand.NewSource(6))
+	a, b := randBlock(r), randBlock(r)
+	shared := SharedParity([]*[mem.BlockSize]byte{&a, &b})
+	verify := func(c *[mem.BlockSize]byte) bool { return *c == a }
+
+	corruptedA := KillChip(a, 2, 0x7f)
+	corruptedB := KillChip(b, 4, 0x3c) // concurrent independent error
+	_, _, ok := Correct(corruptedA, shared, []*[mem.BlockSize]byte{&corruptedB}, verify)
+	if ok {
+		t.Fatal("correction should fail when a sibling has a concurrent error")
+	}
+	// With the sibling healthy, the same correction succeeds.
+	if _, _, ok := Correct(corruptedA, shared, []*[mem.BlockSize]byte{&b}, verify); !ok {
+		t.Fatal("correction should succeed with healthy siblings")
+	}
+}
+
+func TestFlipBitFlipsExactlyOneBit(t *testing.T) {
+	f := func(b [mem.BlockSize]byte, bit uint16) bool {
+		flipped := FlipBit(b, int(bit))
+		diff := 0
+		for i := range b {
+			x := b[i] ^ flipped[i]
+			for x != 0 {
+				diff += int(x & 1)
+				x >>= 1
+			}
+		}
+		return diff == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutSynergyBaseline(t *testing.T) {
+	// Share=1, Stride=1 degenerates to one field per block.
+	l := NewLayout(1, 1, 0x1000)
+	for b := uint64(0); b < 32; b++ {
+		if l.FieldIndex(b) != b {
+			t.Fatalf("field(%d) = %d, want identity", b, l.FieldIndex(b))
+		}
+		if l.GroupPosition(b) != 0 {
+			t.Fatal("unshared parity has single-member groups")
+		}
+	}
+	if l.BlockAddr(0) != 0x1000 || l.BlockAddr(8) != 0x1040 {
+		t.Fatal("eight fields per parity metadata block")
+	}
+}
+
+func TestLayoutSharedGroups(t *testing.T) {
+	// Share=16, Stride=4 (RBH4): blocks {0,4,8,...,60} form group of field
+	// 0; consecutive blocks 0..3 land in fields 0..3.
+	l := NewLayout(16, 4, 0)
+	for b := uint64(0); b < 4; b++ {
+		if l.FieldIndex(b) != b {
+			t.Fatalf("field(%d) = %d, want %d", b, l.FieldIndex(b), b)
+		}
+	}
+	members := l.GroupMembers(0)
+	if len(members) != 16 {
+		t.Fatalf("group size = %d, want 16", len(members))
+	}
+	for i, m := range members {
+		if m != uint64(i*4) {
+			t.Fatalf("member %d = %d, want %d", i, m, i*4)
+		}
+		if l.FieldIndex(m) != 0 {
+			t.Fatalf("member %d not in field 0", m)
+		}
+		if l.GroupPosition(m) != i {
+			t.Fatalf("member %d position = %d, want %d", m, l.GroupPosition(m), i)
+		}
+	}
+}
+
+// Property: all members of a group map to the same field, and the group
+// contains the original block exactly once.
+func TestLayoutGroupConsistency(t *testing.T) {
+	f := func(blockRaw uint32, shareIdx, strideIdx uint8) bool {
+		shares := []int{1, 4, 8, 16}
+		strides := []int{1, 2, 4, 128}
+		l := NewLayout(shares[int(shareIdx)%len(shares)], strides[int(strideIdx)%len(strides)], 0)
+		b := uint64(blockRaw)
+		field := l.FieldIndex(b)
+		count := 0
+		for _, m := range l.GroupMembers(b) {
+			if l.FieldIndex(m) != field {
+				return false
+			}
+			if m == b {
+				count++
+			}
+		}
+		return count == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayoutStorageBlocks(t *testing.T) {
+	l := NewLayout(16, 4, 0)
+	// 1M blocks / 16 per field / 8 fields per block = 8192 blocks: a 16x
+	// footprint reduction vs Synergy's 65536.
+	if got := l.StorageBlocks(1 << 20); got != 8192 {
+		t.Fatalf("storage blocks = %d, want 8192", got)
+	}
+	syn := NewLayout(1, 1, 0)
+	if got := syn.StorageBlocks(1 << 20); got != 1<<17 {
+		t.Fatalf("synergy storage blocks = %d, want %d", got, 1<<17)
+	}
+}
+
+func TestNewLayoutPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero share")
+		}
+	}()
+	NewLayout(0, 1, 0)
+}

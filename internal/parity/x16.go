@@ -1,0 +1,102 @@
+package parity
+
+import "repro/internal/mem"
+
+// x16 DIMM support: a rank built from x16 chips has only 4 data chips, each
+// driving 16 pins per beat. Correcting a whole-chip failure then requires
+// 16 parity bits per beat — a 128-bit parity per 64-byte block, which is
+// why Table I charges Synergy 25% (instead of 12.5%) MAC/parity overhead on
+// x16 DIMMs, and why parity *sharing* is "more helpful for DIMMs with x16
+// chips" (Section III-E): ITESP amortizes the doubled field the same way.
+const (
+	DataChips16 = 4
+	PinsPerX16  = 16
+)
+
+// Parity128 is the 128-bit parity of an x16-protected block.
+type Parity128 [2]uint64
+
+// XOR folds another parity into p (shared parity across ranks).
+func (p *Parity128) XOR(q Parity128) {
+	p[0] ^= q[0]
+	p[1] ^= q[1]
+}
+
+// BlockParity16 computes the x16 chipkill parity: for each beat, the XOR of
+// the four chips' 16-bit lanes, packed beat-major (8 beats x 16 bits).
+func BlockParity16(data *[mem.BlockSize]byte) Parity128 {
+	var p Parity128
+	for b := 0; b < Beats; b++ {
+		var x uint16
+		for c := 0; c < DataChips16; c++ {
+			off := b*DataChips16*2 + c*2
+			x ^= uint16(data[off]) | uint16(data[off+1])<<8
+		}
+		p[b/4] |= uint64(x) << (16 * uint(b%4))
+	}
+	return p
+}
+
+// SharedParity16 XORs the parities of blocks in different ranks.
+func SharedParity16(blocks []*[mem.BlockSize]byte) Parity128 {
+	var p Parity128
+	for _, b := range blocks {
+		p.XOR(BlockParity16(b))
+	}
+	return p
+}
+
+// KillChip16 corrupts every bit driven by x16 chip c.
+func KillChip16(data [mem.BlockSize]byte, c int, seed byte) [mem.BlockSize]byte {
+	for b := 0; b < Beats; b++ {
+		off := b*DataChips16*2 + c*2
+		data[off] ^= seed | 1
+		data[off+1] ^= seed ^ 0xff | 1
+	}
+	return data
+}
+
+// ReconstructChip16 rebuilds the hypothesis that x16 chip c failed, using
+// the parity and the (error-free) sibling blocks sharing it.
+func ReconstructChip16(observed [mem.BlockSize]byte, c int, parity Parity128, siblings []*[mem.BlockSize]byte) [mem.BlockSize]byte {
+	for _, s := range siblings {
+		parity.XOR(BlockParity16(s))
+	}
+	fixed := observed
+	for b := 0; b < Beats; b++ {
+		var x uint16
+		for cc := 0; cc < DataChips16; cc++ {
+			if cc == c {
+				continue
+			}
+			off := b*DataChips16*2 + cc*2
+			x ^= uint16(observed[off]) | uint16(observed[off+1])<<8
+		}
+		lane := uint16(parity[b/4]>>(16*uint(b%4))) ^ x
+		off := b*DataChips16*2 + c*2
+		fixed[off] = byte(lane)
+		fixed[off+1] = byte(lane >> 8)
+	}
+	return fixed
+}
+
+// Correct16 is the x16 analogue of Correct: it walks the four chip-failure
+// hypotheses, accepting the unique reconstruction that verifies.
+func Correct16(observed [mem.BlockSize]byte, parity Parity128, siblings []*[mem.BlockSize]byte, verify Verifier) (fixed [mem.BlockSize]byte, chip int, ok bool) {
+	if verify(&observed) {
+		return observed, -1, true
+	}
+	found := false
+	for c := 0; c < DataChips16; c++ {
+		cand := ReconstructChip16(observed, c, parity, siblings)
+		if verify(&cand) {
+			if found && cand != fixed {
+				return [mem.BlockSize]byte{}, -1, false
+			}
+			if !found {
+				fixed, chip, found = cand, c, true
+			}
+		}
+	}
+	return fixed, chip, found
+}

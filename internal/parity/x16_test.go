@@ -1,0 +1,107 @@
+package parity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestBlockParity16Linear(t *testing.T) {
+	f := func(a, b [mem.BlockSize]byte) bool {
+		var x [mem.BlockSize]byte
+		for i := range x {
+			x[i] = a[i] ^ b[i]
+		}
+		pa, pb, px := BlockParity16(&a), BlockParity16(&b), BlockParity16(&x)
+		return px[0] == pa[0]^pb[0] && px[1] == pa[1]^pb[1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestX16ChipkillReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		var orig [mem.BlockSize]byte
+		r.Read(orig[:])
+		p := BlockParity16(&orig)
+		chip := trial % DataChips16
+		broken := KillChip16(orig, chip, byte(trial+1))
+		if broken == orig {
+			t.Fatal("KillChip16 did not corrupt")
+		}
+		if fixed := ReconstructChip16(broken, chip, p, nil); fixed != orig {
+			t.Fatalf("trial %d: x16 reconstruction of chip %d failed", trial, chip)
+		}
+	}
+}
+
+func TestX16SharedParityReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	const n = 8
+	blocks := make([]*[mem.BlockSize]byte, n)
+	for i := range blocks {
+		var b [mem.BlockSize]byte
+		r.Read(b[:])
+		blocks[i] = &b
+	}
+	shared := SharedParity16(blocks)
+	orig := *blocks[2]
+	broken := KillChip16(orig, 1, 0x3c)
+	var siblings []*[mem.BlockSize]byte
+	for i, b := range blocks {
+		if i != 2 {
+			siblings = append(siblings, b)
+		}
+	}
+	if fixed := ReconstructChip16(broken, 1, shared, siblings); fixed != orig {
+		t.Fatal("x16 shared-parity reconstruction failed")
+	}
+}
+
+func TestCorrect16FindsChip(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	var orig [mem.BlockSize]byte
+	r.Read(orig[:])
+	p := BlockParity16(&orig)
+	verify := func(c *[mem.BlockSize]byte) bool { return *c == orig }
+	for chip := 0; chip < DataChips16; chip++ {
+		broken := KillChip16(orig, chip, 0x77)
+		fixed, found, ok := Correct16(broken, p, nil, verify)
+		if !ok || fixed != orig || found != chip {
+			t.Fatalf("chip %d: correction failed (found=%d ok=%v)", chip, found, ok)
+		}
+	}
+	// Clean block short-circuits.
+	if _, c, ok := Correct16(orig, p, nil, verify); !ok || c != -1 {
+		t.Fatal("clean block should verify without correction")
+	}
+}
+
+func TestCorrect16TwoChipDUE(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var orig [mem.BlockSize]byte
+	r.Read(orig[:])
+	p := BlockParity16(&orig)
+	verify := func(c *[mem.BlockSize]byte) bool { return *c == orig }
+	broken := KillChip16(KillChip16(orig, 0, 0x11), 3, 0x22)
+	if _, _, ok := Correct16(broken, p, nil, verify); ok {
+		t.Fatal("two-chip x16 failure must be a DUE")
+	}
+}
+
+// TestX16StorageDoubling ties to Table I: the x16 parity field is twice the
+// x8 field, which is exactly the 12.5% -> 25% overhead step.
+func TestX16StorageDoubling(t *testing.T) {
+	x8bits := 64
+	x16bits := 128
+	if float64(x16bits)/float64(x8bits) != 2 {
+		t.Fatal("x16 parity must be double width")
+	}
+	if got := 100 * float64(x16bits) / 8 / float64(mem.BlockSize); got != 25 {
+		t.Fatalf("x16 parity overhead = %.1f%%, want 25%%", got)
+	}
+}

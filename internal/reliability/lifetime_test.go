@@ -1,0 +1,74 @@
+package reliability
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLifetimeObservesErrors(t *testing.T) {
+	r := SimulateLifetime(DefaultLifetimeConfig(false))
+	if r.Errors == 0 {
+		t.Fatal("accelerated simulation observed no errors")
+	}
+	if r.Corrected+r.DUE > r.Errors {
+		t.Fatal("accounting broken: corrected+due > errors")
+	}
+	if r.Scrubbed == 0 {
+		t.Fatal("scrubbing never cleared anything")
+	}
+}
+
+// TestSharedParityIncreasesDUEExposure is the lifetime-simulation
+// counterpart of Table II Case 4: ITESP's cross-rank sharing must observe
+// substantially more DUE coincidences than Synergy's per-rank parity, in
+// the direction (and rough magnitude) of the analytic
+// (devices-1)/(rankDevices-1) scaling.
+func TestSharedParityIncreasesDUEExposure(t *testing.T) {
+	syn := SimulateLifetime(DefaultLifetimeConfig(false))
+	itesp := SimulateLifetime(DefaultLifetimeConfig(true))
+	if syn.DUE == 0 {
+		t.Fatal("synergy simulation observed no DUEs; raise acceleration")
+	}
+	ratio := float64(itesp.DUE) / float64(syn.DUE)
+	// Domain grows from the 1 rank (9 devices) to 16 ranks: expect roughly
+	// an order of magnitude, certainly > 3x and < 100x.
+	if ratio < 3 || ratio > 100 {
+		t.Fatalf("ITESP/Synergy DUE ratio = %.1f (syn=%d itesp=%d), expected ~16x",
+			ratio, syn.DUE, itesp.DUE)
+	}
+}
+
+func TestShorterScrubReducesDUEs(t *testing.T) {
+	a := DefaultLifetimeConfig(true)
+	b := a
+	b.Params.ScrubHours = a.Params.ScrubHours / 8
+	ra := SimulateLifetime(a)
+	rb := SimulateLifetime(b)
+	if ra.DUE == 0 {
+		t.Skip("no DUEs at this acceleration")
+	}
+	if rb.DUE >= ra.DUE {
+		t.Fatalf("8x faster scrubbing did not reduce DUEs: %d -> %d", ra.DUE, rb.DUE)
+	}
+}
+
+func TestLifetimeDeterministic(t *testing.T) {
+	a := SimulateLifetime(DefaultLifetimeConfig(true))
+	b := SimulateLifetime(DefaultLifetimeConfig(true))
+	if a != b {
+		t.Fatal("same seed should reproduce the same campaign")
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 20_000
+	var sum int
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, 2.5)
+	}
+	mean := float64(sum) / n
+	if mean < 2.3 || mean > 2.7 {
+		t.Fatalf("poisson mean = %.3f, want ~2.5", mean)
+	}
+}

@@ -1,0 +1,210 @@
+// Package reliability reproduces the paper's Section III-G analysis: the
+// analytic SDC (silent data corruption) and DUE (detected uncorrectable
+// error) rates of Table II for Synergy and ITESP, plus a Monte-Carlo
+// fault-injection harness that exercises the functional MAC-guided chipkill
+// correction path to validate the mechanisms behind the analytic cases.
+package reliability
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mac"
+	"repro/internal/mem"
+	"repro/internal/parity"
+)
+
+// Params holds the failure-model constants of Section III-G.
+type Params struct {
+	// DeviceFIT is failures per billion device-hours (Sridharan & Liberty:
+	// 66.1 for DRAM devices).
+	DeviceFIT float64
+	// Devices is the total DRAM devices in the memory system (288).
+	Devices int
+	// RankDevices is devices per rank (9 for a x8 ECC DIMM: 8 data + 1
+	// ECC/MAC).
+	RankDevices int
+	// ScrubHours is the scrubbing interval bounding the window in which
+	// independent errors can coexist (1 hour in the paper's analysis).
+	ScrubHours float64
+	// MACBits is the MAC width (64).
+	MACBits int
+}
+
+// DefaultParams returns the paper's constants.
+func DefaultParams() Params {
+	return Params{
+		DeviceFIT:   66.1,
+		Devices:     288,
+		RankDevices: 9,
+		ScrubHours:  1,
+		MACBits:     64,
+	}
+}
+
+// Rates are events per billion hours of operation.
+type Rates struct {
+	// SDCDetection: corrupted block whose MAC matches during detection
+	// (Table II Case 1).
+	SDCDetection float64
+	// SDCCorrection: multi-device error "corrected" to a wrong value that
+	// passes the MAC (Case 2).
+	SDCCorrection float64
+	// DUEAmbiguous: single-device error with multiple matching MACs during
+	// correction (Case 3).
+	DUEAmbiguous float64
+	// DUEMultiChip: concurrent independent multi-chip error, no matching
+	// MAC (Case 4 — the only case where ITESP is measurably weaker).
+	DUEMultiChip float64
+}
+
+// macConflict is the probability a random corruption passes a b-bit MAC.
+func macConflict(bits int) float64 { return math.Pow(2, -float64(bits)) }
+
+// Synergy computes Table II's Synergy column: parity is per rank, so
+// concurrent independent errors matter only within one rank.
+func Synergy(p Params) Rates {
+	conflict := macConflict(p.MACBits)
+	fit := p.DeviceFIT
+	n := float64(p.Devices)
+	rankPeers := float64(p.RankDevices - 1)
+	window := p.ScrubHours / 1e9 // hours -> billion-hour units
+
+	// Case 1: any device error whose corruption aliases the MAC.
+	sdcDet := n * fit * conflict
+	// Case 2: two concurrent errors in one rank, wrong correction passes
+	// one of the RankDevices MAC attempts.
+	multiRank := n * fit * rankPeers * fit * window
+	sdcCorr := multiRank * float64(p.RankDevices) * conflict
+	// Case 3: single-device error, >1 matching MAC among the attempts.
+	dueAmb := n * fit * rankPeers * conflict
+	// Case 4: the multi-rank-device error itself (all MAC attempts fail).
+	dueMulti := multiRank
+	return Rates{sdcDet, sdcCorr, dueAmb, dueMulti}
+}
+
+// ITESP computes Table II's ITESP column: parity is shared across ranks, so
+// concurrent independent errors anywhere in memory defeat correction.
+func ITESP(p Params) Rates {
+	r := Synergy(p)
+	peers := float64(p.Devices - 1)
+	rankPeers := float64(p.RankDevices - 1)
+	// Cases 2 and 4 scale from "peers within the rank" to "peers anywhere
+	// in the memory system".
+	scale := peers / rankPeers
+	r.SDCCorrection *= scale
+	r.DUEMultiChip *= scale
+	return r
+}
+
+// ImmediateScrubFactor is the improvement from triggering a scrub as soon
+// as any error is detected (Section III-G closing remark): the coexistence
+// window shrinks from an hour to seconds, roughly three orders of
+// magnitude.
+func ImmediateScrubFactor(p Params, scrubSeconds float64) float64 {
+	return p.ScrubHours * 3600 / scrubSeconds
+}
+
+// InjectionResult summarizes a Monte-Carlo fault-injection campaign.
+type InjectionResult struct {
+	Trials      int
+	Corrected   int // corrected to the right data
+	SDC         int // wrong data accepted
+	DUE         int // detected but uncorrectable
+	Undetected  int // corruption not even detected (MAC alias)
+	CleanPasses int // no-error trials verified clean
+}
+
+// Scenario selects the injected fault pattern.
+type Scenario uint8
+
+const (
+	// SingleChip kills one chip of the protected block (the common case:
+	// must be corrected).
+	SingleChip Scenario = iota
+	// SingleBit flips one bit (soft error; must be corrected).
+	SingleBit
+	// TwoChipsSameBlock kills two chips of the same block (Synergy and
+	// ITESP Case 4: must be a DUE).
+	TwoChipsSameBlock
+	// ChipPlusSibling kills one chip of the block and one chip of a
+	// sibling block sharing the parity (ITESP-only weakening: DUE).
+	ChipPlusSibling
+	// NoFault injects nothing (sanity: must verify clean).
+	NoFault
+)
+
+// Inject runs trials of the given scenario against the functional
+// MAC-guided correction path with share-way shared parity.
+func Inject(scenario Scenario, share int, trials int, seed int64) InjectionResult {
+	rng := rand.New(rand.NewSource(seed))
+	eng := mac.NewEngine(mac.Key{K0: rng.Uint64(), K1: rng.Uint64()})
+	var res InjectionResult
+	res.Trials = trials
+
+	for t := 0; t < trials; t++ {
+		// Build a parity group of `share` random blocks.
+		group := make([]*[mem.BlockSize]byte, share)
+		for i := range group {
+			var b [mem.BlockSize]byte
+			rng.Read(b[:])
+			group[i] = &b
+		}
+		victim := rng.Intn(share)
+		orig := *group[victim]
+		addr := mem.PhysAddr(uint64(t) * mem.BlockSize)
+		ctr := uint64(t)
+		stored := eng.Compute(addr, ctr, orig[:])
+		sharedP := parity.SharedParity(group)
+
+		observed := orig
+		siblings := make([]*[mem.BlockSize]byte, 0, share-1)
+		switch scenario {
+		case SingleChip:
+			observed = parity.KillChip(observed, rng.Intn(parity.DataChips), byte(rng.Intn(255)+1))
+		case SingleBit:
+			observed = parity.FlipBit(observed, rng.Intn(mem.BlockSize*8))
+		case TwoChipsSameBlock:
+			a := rng.Intn(parity.DataChips)
+			b := (a + 1 + rng.Intn(parity.DataChips-1)) % parity.DataChips
+			observed = parity.KillChip(observed, a, byte(rng.Intn(255)+1))
+			observed = parity.KillChip(observed, b, byte(rng.Intn(255)+1))
+		case ChipPlusSibling:
+			observed = parity.KillChip(observed, rng.Intn(parity.DataChips), byte(rng.Intn(255)+1))
+		case NoFault:
+		}
+		for i, b := range group {
+			if i == victim {
+				continue
+			}
+			if scenario == ChipPlusSibling && i == (victim+1)%share {
+				corrupted := parity.KillChip(*b, rng.Intn(parity.DataChips), byte(rng.Intn(255)+1))
+				siblings = append(siblings, &corrupted)
+				continue
+			}
+			siblings = append(siblings, b)
+		}
+
+		verify := func(c *[mem.BlockSize]byte) bool { return eng.Verify(addr, ctr, c[:], stored) }
+		if scenario == NoFault {
+			if fixed, chip, ok := parity.Correct(observed, sharedP, siblings, verify); ok && chip == -1 && fixed == orig {
+				res.CleanPasses++
+			}
+			continue
+		}
+		if verify(&observed) && observed != orig {
+			res.Undetected++
+			continue
+		}
+		fixed, _, ok := parity.Correct(observed, sharedP, siblings, verify)
+		switch {
+		case !ok:
+			res.DUE++
+		case fixed == orig:
+			res.Corrected++
+		default:
+			res.SDC++
+		}
+	}
+	return res
+}

@@ -1,0 +1,315 @@
+// Package sim binds the trace-driven cores, the secure-memory engine, and
+// the DRAM model into a full multi-programmed simulation, reproducing the
+// paper's methodology: N copies of a benchmark, one enclave per core, a
+// single security engine at the memory controller, and DDR3-1600 channels.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/addrmap"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/enclave"
+	"repro/internal/energy"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// SchemeName selects the secure-memory scheme (see core.SchemeNames).
+	SchemeName string
+	// Benchmark is the workload generated for every core.
+	Benchmark workload.Spec
+	// Cores is the number of cores / enclaves / program copies.
+	Cores int
+	// Channels is the number of DDR channels (paper: 1 for 4 cores, 2 for
+	// 8 cores).
+	Channels int
+	// PolicyName selects the address-mapping policy; empty means the
+	// scheme's best default (column for baselines, rbh4 for ITESP).
+	PolicyName string
+	// OpsPerCore is the number of memory operations simulated per core
+	// (the paper uses 5M; experiments here default lower for runtime).
+	OpsPerCore uint64
+	// WarmupOps per core are executed before stats collection.
+	WarmupOps uint64
+	// Seed diversifies the per-core generators.
+	Seed int64
+	// DataFrac is the fraction of DRAM capacity given to the data region
+	// (rest holds metadata). Zero means 0.75.
+	DataFrac float64
+	// MetaKBPerCore scales the scheme's on-chip cache budget (Fig 13
+	// sensitivity); zero keeps the paper default of 16 KB per core.
+	MetaKBPerCore int
+	// DenseAlloc hands out physical pages in address order instead of the
+	// default scattered (fragmented-EPC) order — the idealized
+	// single-program layout of the Fig 2/3 "Small" model.
+	DenseAlloc bool
+	// DDR4 swaps the DDR3-1600 timing for DDR4-2400 (sensitivity study;
+	// the CPU:bus clock ratio becomes 3:1 for a 3.6 GHz core).
+	DDR4 bool
+	// FilterLLC interposes a per-core LLC slice between the generator and
+	// the memory system. The generator stream is then interpreted as
+	// pre-LLC references, and write-backs emerge from dirty evictions
+	// instead of the generators' calibrated write fractions.
+	FilterLLC bool
+	// LLCMBPerCore sizes each core's LLC slice (default 2 MB, i.e. the
+	// paper's 8 MB shared LLC across 4 cores).
+	LLCMBPerCore int
+	// StrictVerify disables speculative verification.
+	StrictVerify bool
+	// CPU overrides the core pipeline; zero value uses Table III.
+	CPU cpu.Config
+
+	// Scheme optionally overrides SchemeName with an explicit scheme.
+	Scheme *core.Scheme
+	// Sources optionally overrides the per-core trace sources.
+	Sources []trace.Source
+}
+
+// Result carries the measurements of one run.
+type Result struct {
+	Config Config
+	Scheme core.Scheme
+
+	// Cycles is execution time in CPU cycles (slowest core to finish),
+	// including the post-hoc local-counter overflow penalty.
+	Cycles uint64
+	// PerCoreCycles is each core's finish time.
+	PerCoreCycles []uint64
+	// Engine exposes engine-side stats (metadata traffic, Fig 3 patterns).
+	Engine *core.Engine
+	// Memory exposes DRAM-side stats (row hits, energy counts).
+	Memory *dram.Memory
+	// MemoryJoules is the Fig 10 memory-energy estimate.
+	MemoryJoules float64
+	// SystemEDP is the Fig 10 system energy-delay product.
+	SystemEDP float64
+	// Overflows counts local-counter re-encryptions.
+	Overflows uint64
+}
+
+// MetaPerOp returns metadata accesses per data operation (Fig 9 metric).
+func (r *Result) MetaPerOp() float64 { return r.Engine.Stats.MetaAccessesPerOp() }
+
+// RowHitRate returns the all-channel row-buffer hit rate.
+func (r *Result) RowHitRate() float64 {
+	var hits, total uint64
+	for c := 0; c < r.Memory.Config().Geom.Channels; c++ {
+		s := r.Memory.ChannelStats(c)
+		hits += s.RowHits.Value()
+		total += s.RowHits.Value() + s.RowMisses.Value()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// MetaCacheHitRate returns the metadata cache hit rate (0 if no cache).
+func (r *Result) MetaCacheHitRate() float64 {
+	mc := r.Engine.MetaCache()
+	if mc == nil {
+		return 0
+	}
+	return mc.Stats.HitRate()
+}
+
+// defaultPolicy picks the best mapping per scheme (Section V-C): the
+// baselines favor pure row-buffer locality (column); embedded parity wants
+// the N-row-buffer-hit policy whose group size matches the number of parity
+// fields per leaf, so that N consecutive row-buffer-local blocks still land
+// in a single leaf node; standalone shared parity likewise groups blocks of
+// different ranks and favors rbh4.
+func defaultPolicy(s core.Scheme) string {
+	switch s.Parity {
+	case core.ParityEmbedded:
+		switch {
+		case s.Tree.ParitiesPerLeaf >= 4:
+			return "rbh4"
+		case s.Tree.ParitiesPerLeaf == 2:
+			return "rbh2"
+		default:
+			return "rank"
+		}
+	case core.ParityShared:
+		return "rbh4"
+	}
+	return "column"
+}
+
+// Run executes one simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("sim: cores must be positive")
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.OpsPerCore == 0 {
+		cfg.OpsPerCore = 100_000
+	}
+	if cfg.DataFrac == 0 {
+		cfg.DataFrac = 0.75
+	}
+	var scheme core.Scheme
+	if cfg.Scheme != nil {
+		scheme = *cfg.Scheme
+	} else {
+		var err error
+		scheme, err = core.SchemeByName(cfg.SchemeName, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.MetaKBPerCore > 0 && cfg.MetaKBPerCore != 16 {
+		scheme.MetaCacheKB = scheme.MetaCacheKB * cfg.MetaKBPerCore / 16
+		scheme.MACCacheKB = scheme.MACCacheKB * cfg.MetaKBPerCore / 16
+		scheme.ParityCacheKB = scheme.ParityCacheKB * cfg.MetaKBPerCore / 16
+	}
+	if cfg.PolicyName == "" {
+		cfg.PolicyName = defaultPolicy(scheme)
+	}
+	geom := addrmap.DefaultGeometry(cfg.Channels)
+	policy, err := addrmap.ByName(cfg.PolicyName, geom)
+	if err != nil {
+		return nil, err
+	}
+
+	timing := dram.DDR3_1600()
+	cpuPerDRAM := dram.CPUCyclesPerDRAMCycle
+	if cfg.DDR4 {
+		timing = dram.DDR4_2400()
+		cpuPerDRAM = 3
+	}
+	dmem := dram.New(dram.Config{
+		Timing: timing,
+		Geom:   geom,
+		ReadQ:  48, WriteQ: 48, HighWM: 40, LowWM: 20,
+	})
+	dataPages := uint64(float64(geom.CapacityBytes())*cfg.DataFrac) / mem.PageSize
+	var encl *enclave.System
+	if cfg.DenseAlloc {
+		encl = enclave.NewDenseSystem(dataPages)
+	} else {
+		encl = enclave.NewSystem(dataPages)
+	}
+	engine, err := core.New(core.Config{
+		Scheme:       scheme,
+		Policy:       policy,
+		Cores:        cfg.Cores,
+		DataPages:    dataPages,
+		StrictVerify: cfg.StrictVerify,
+	}, dmem, encl)
+	if err != nil {
+		return nil, err
+	}
+
+	cores := make([]*cpu.Core, cfg.Cores)
+	for i := range cores {
+		var src trace.Source
+		if cfg.Sources != nil {
+			src = cfg.Sources[i]
+		} else {
+			src = workload.NewGenerator(cfg.Benchmark, cfg.Seed+int64(i)*7919+1)
+		}
+		if cfg.FilterLLC {
+			mb := cfg.LLCMBPerCore
+			if mb <= 0 {
+				mb = 2
+			}
+			src = llc.NewFilter(src, llc.Config{SizeMB: mb, Ways: 16})
+		}
+		encl.Create(mem.EnclaveID(i))
+		cores[i] = cpu.NewCore(i, cfg.CPU, src, cfg.OpsPerCore+cfg.WarmupOps)
+	}
+
+	tokenOwner := make(map[uint64]int)
+	issue := func(coreID int, rec trace.Record) (uint64, bool, error) {
+		token, accepted, err := engine.Access(coreID, rec)
+		if err != nil {
+			return 0, false, err
+		}
+		if accepted && token != 0 {
+			tokenOwner[token] = coreID
+		}
+		return token, accepted, err
+	}
+
+	var cpuCycle uint64
+	idleTicks := 0
+	for {
+		allDone := true
+		for _, c := range cores {
+			if !c.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone && engine.Pending() == 0 {
+			break
+		}
+		progressed := false
+		for _, tok := range engine.Tick() {
+			if owner, ok := tokenOwner[tok]; ok {
+				cores[owner].OnComplete(tok)
+				delete(tokenOwner, tok)
+				progressed = true
+			}
+		}
+		for i := 0; i < cpuPerDRAM; i++ {
+			cpuCycle++
+			for _, c := range cores {
+				before := c.Retired()
+				if err := c.Cycle(cpuCycle, issue); err != nil {
+					return nil, err
+				}
+				if c.Retired() != before {
+					progressed = true
+				}
+			}
+		}
+		if progressed {
+			idleTicks = 0
+		} else if allDone {
+			// Draining residual writes; refresh-bound, give it time.
+			idleTicks++
+			if idleTicks > 2_000_000 {
+				return nil, fmt.Errorf("sim: drain did not converge")
+			}
+		} else {
+			idleTicks++
+			if idleTicks > 4_000_000 {
+				return nil, fmt.Errorf("sim: deadlock at cycle %d (pending=%d)", cpuCycle, engine.Pending())
+			}
+		}
+	}
+
+	res := &Result{
+		Config: cfg,
+		Scheme: scheme,
+		Engine: engine,
+		Memory: dmem,
+	}
+	var maxFinish uint64
+	for _, c := range cores {
+		res.PerCoreCycles = append(res.PerCoreCycles, c.FinishCycle())
+		if c.FinishCycle() > maxFinish {
+			maxFinish = c.FinishCycle()
+		}
+	}
+	res.Overflows = engine.Overflows()
+	res.Cycles = maxFinish
+	if scheme.ModelOverflow {
+		res.Cycles += engine.OverflowPenaltyCycles() / uint64(cfg.Cores)
+	}
+	p := energy.DefaultParams()
+	res.MemoryJoules = energy.MemoryJoules(dmem, dmem.Now(), p)
+	res.SystemEDP = energy.SystemEDP(res.MemoryJoules, res.Cycles, cfg.Cores, p)
+	return res, nil
+}

@@ -1,0 +1,211 @@
+// Package stats provides lightweight counters, ratios, and histograms used
+// by the simulator and the experiment harnesses. All types have useful zero
+// values and are not safe for concurrent use; each simulated component owns
+// its own stats.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio tracks hits out of a total number of events, e.g. cache hit rates.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// Observe records one event that either hit or missed.
+func (r *Ratio) Observe(hit bool) {
+	r.Total++
+	if hit {
+		r.Hits++
+	}
+}
+
+// Value returns hits/total, or 0 if no events were observed.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Misses returns the number of events that were not hits.
+func (r *Ratio) Misses() uint64 { return r.Total - r.Hits }
+
+// Mean accumulates a running mean without storing samples.
+type Mean struct {
+	sum float64
+	n   uint64
+}
+
+// Observe adds one sample.
+func (m *Mean) Observe(v float64) {
+	m.sum += v
+	m.n++
+}
+
+// Value returns the mean of all observed samples, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// Count returns the number of observed samples.
+func (m *Mean) Count() uint64 { return m.n }
+
+// Sum returns the sum of all observed samples.
+func (m *Mean) Sum() float64 { return m.sum }
+
+// Histogram is a fixed-bucket histogram over uint64 samples. Bucket i counts
+// samples in [bounds[i-1], bounds[i]); the last bucket is unbounded.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    uint64
+	max    uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. A final overflow bucket is added automatically.
+func NewHistogram(bounds ...uint64) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.MaxUint64,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
+	h.counts[i]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the mean of observed samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (h *Histogram) Min() uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Bucket returns the count in bucket i (0 <= i <= len(bounds)).
+func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
+
+// NumBuckets returns the number of buckets including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 100)
+// using bucket boundaries. It returns the max for the overflow bucket.
+func (h *Histogram) Percentile(p float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.total)))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// String renders the histogram one bucket per line.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	lo := uint64(0)
+	for i, c := range h.counts {
+		if i < len(h.bounds) {
+			fmt.Fprintf(&b, "[%d,%d): %d\n", lo, h.bounds[i], c)
+			lo = h.bounds[i]
+		} else {
+			fmt.Fprintf(&b, "[%d,inf): %d\n", lo, c)
+		}
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of vs; it ignores non-positive values
+// and returns 0 if no positive values exist. Used for normalized performance
+// summaries across benchmarks, matching common architecture-paper practice.
+func GeoMean(vs []float64) float64 {
+	var logSum float64
+	var n int
+	for _, v := range vs {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// ArithMean returns the arithmetic mean of vs, or 0 for an empty slice.
+func ArithMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset = %d, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatalf("empty ratio = %v, want 0", r.Value())
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(false)
+	if got := r.Value(); got != 0.5 {
+		t.Fatalf("ratio = %v, want 0.5", got)
+	}
+	if r.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", r.Misses())
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatalf("empty mean = %v, want 0", m.Value())
+	}
+	for _, v := range []float64{1, 2, 3, 4} {
+		m.Observe(v)
+	}
+	if m.Value() != 2.5 {
+		t.Fatalf("mean = %v, want 2.5", m.Value())
+	}
+	if m.Count() != 4 || m.Sum() != 10 {
+		t.Fatalf("count=%d sum=%v, want 4, 10", m.Count(), m.Sum())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []uint64{5, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	wantBuckets := []uint64{2, 1, 1, 1}
+	for i, w := range wantBuckets {
+		if got := h.Bucket(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d, want 5", h.Total())
+	}
+	if h.Min() != 5 || h.Max() != 5000 {
+		t.Fatalf("min/max = %d/%d, want 5/5000", h.Min(), h.Max())
+	}
+	if got, want := h.Mean(), (5+5+50+500+5000)/5.0; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramPanicsOnUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on descending bounds")
+		}
+	}()
+	NewHistogram(100, 10)
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for v := uint64(0); v < 30; v++ {
+		h.Observe(v)
+	}
+	if p := h.Percentile(50); p != 20 {
+		t.Fatalf("p50 = %d, want bucket bound 20", p)
+	}
+	if p := h.Percentile(100); p != 30 {
+		t.Fatalf("p100 = %d, want 30", p)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(10)
+	if h.Mean() != 0 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+// Property: histogram total always equals the number of observations, and
+// the sum of bucket counts equals the total.
+func TestHistogramConservation(t *testing.T) {
+	f := func(vs []uint64) bool {
+		h := NewHistogram(16, 256, 4096, 65536)
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		var sum uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return sum == h.Total() && h.Total() == uint64(len(vs))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GeoMean of positive values lies between min and max.
+func TestGeoMeanBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var vs []float64
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v > 1e-9 && v < 1e9 && !math.IsNaN(v) {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return GeoMean(vs) == 0
+		}
+		min, max := vs[0], vs[0]
+		for _, v := range vs {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		g := GeoMean(vs)
+		return g >= min*(1-1e-9) && g <= max*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMeanIgnoresNonPositive(t *testing.T) {
+	if g := GeoMean([]float64{-1, 0, 4}); g != 4 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v, want 0", g)
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if m := ArithMean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v, want 2", m)
+	}
+	if m := ArithMean(nil); m != 0 {
+		t.Fatalf("mean(nil) = %v, want 0", m)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Observe(5)
+	h.Observe(500)
+	s := h.String()
+	if !strings.Contains(s, "[0,10): 1") || !strings.Contains(s, "[100,inf): 1") {
+		t.Fatalf("unexpected rendering:\n%s", s)
+	}
+}

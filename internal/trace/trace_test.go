@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Gap: 0, Type: mem.Read, VAddr: 0x1000},
+		{Gap: 42, Type: mem.Write, VAddr: 0xdeadbeef},
+		{Gap: 1 << 20, Type: mem.Read, VAddr: 1 << 47},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d, want 3", w.Count())
+	}
+	if buf.Len() != 3*16 {
+		t.Fatalf("encoded size = %d, want 48", buf.Len())
+	}
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d missing", i)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader should be exhausted")
+	}
+	if r.Err() != nil {
+		t.Fatalf("EOF is not an error: %v", r.Err())
+	}
+}
+
+func TestReaderDetectsCorruptType(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{Type: mem.Read})
+	w.Flush()
+	data := buf.Bytes()
+	data[4] = 7 // invalid AccessType
+	r := NewReader(bytes.NewReader(data))
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt record should not decode")
+	}
+	if r.Err() == nil {
+		t.Fatal("corrupt record should surface an error")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{Type: mem.Read, VAddr: 1})
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()[:10]))
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record should not decode")
+	}
+	if r.Err() != nil {
+		t.Fatalf("truncation treated as EOF, got %v", r.Err())
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := NewSliceSource([]Record{{VAddr: 1}, {VAddr: 2}})
+	a, _ := s.Next()
+	b, _ := s.Next()
+	if _, ok := s.Next(); ok || a.VAddr != 1 || b.VAddr != 2 {
+		t.Fatal("slice source order/exhaustion wrong")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.VAddr != 1 {
+		t.Fatal("reset should rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := NewSliceSource([]Record{{VAddr: 1}, {VAddr: 2}, {VAddr: 3}})
+	l := Limit(s, 2)
+	n := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("limit yielded %d records, want 2", n)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	l := Limit(NewSliceSource([]Record{{VAddr: 1}}), 0)
+	if _, ok := l.Next(); ok {
+		t.Fatal("zero limit should yield nothing")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary records.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(gap uint32, isWrite bool, vaddr uint64) bool {
+		rec := Record{Gap: gap, Type: mem.Read, VAddr: mem.VirtAddr(vaddr)}
+		if isWrite {
+			rec.Type = mem.Write
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got, ok := r.Next()
+		return ok && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

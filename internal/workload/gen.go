@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// heapBase is the virtual base address of each generated program's heap.
+const heapBase mem.VirtAddr = 0x5000_0000_0000
+
+// Generator produces an infinite synthetic trace for one benchmark; it
+// implements trace.Source.
+type Generator struct {
+	spec    Spec
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	blocks  uint64 // working-set size in 64-byte blocks
+	meanGap float64
+
+	// pattern state
+	cursor     uint64 // current block for stream/strided/chase
+	runLeft    int    // blocks remaining in the current sequential run
+	streamMode bool   // for Mixed: current phase
+	phaseLeft  int
+	// recently read blocks become write-back candidates, modeling dirty
+	// LLC evictions landing near recent fills.
+	recent [64]uint64
+	rpos   int
+	filled int
+
+	// Burstiness: real post-LLC traces cluster misses (a loop nest issues
+	// several misses back-to-back, then computes). Ops arrive in bursts of
+	// burstLen with small gaps, separated by long think gaps sized to
+	// preserve the spec's MPKI.
+	burstLeft int
+	longGap   float64
+}
+
+// NewGenerator builds a deterministic generator for spec with the given
+// seed (use distinct seeds for the 4 or 8 co-scheduled copies).
+func NewGenerator(spec Spec, seed int64) *Generator {
+	rng := rand.New(rand.NewSource(seed))
+	blocks := uint64(spec.WorkingSetMB) * 1024 * 1024 / mem.BlockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	g := &Generator{
+		spec:    spec,
+		rng:     rng,
+		blocks:  blocks,
+		meanGap: 1000 / spec.MPKI,
+		cursor:  uint64(rng.Int63()) % blocks,
+	}
+	if spec.Pattern == Zipf || spec.Pattern == Mixed {
+		pages := blocks / mem.BlocksPage
+		if pages < 2 {
+			pages = 2
+		}
+		// s=1.1 gives the heavy-tailed page popularity typical of graph
+		// kernels: a hot core plus a long cold tail.
+		g.zipf = rand.NewZipf(rng, 1.1, 1, pages-1)
+	}
+	return g
+}
+
+// Spec returns the generated benchmark's spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// addr converts a working-set block index to a virtual address.
+func (g *Generator) addr(block uint64) mem.VirtAddr {
+	return heapBase + mem.VirtAddr(block%g.blocks*mem.BlockSize)
+}
+
+// nextBlock advances the pattern state and returns the next block index.
+func (g *Generator) nextBlock() uint64 {
+	switch g.spec.Pattern {
+	case Stream:
+		return g.streamStep(512) // 32 KB runs
+	case Strided:
+		g.cursor = (g.cursor + 17) % g.blocks // 17-block (~1 KB) stride
+		if g.rng.Intn(256) == 0 {
+			g.cursor = uint64(g.rng.Int63()) % g.blocks
+		}
+		return g.cursor
+	case Chase:
+		// Dependent pseudo-random walk: no spatial or temporal locality.
+		g.cursor = (g.cursor*6364136223846793005 + 1442695040888963407) % g.blocks
+		return g.cursor
+	case Zipf:
+		page := g.zipf.Uint64()
+		return (page*mem.BlocksPage + uint64(g.rng.Intn(mem.BlocksPage))) % g.blocks
+	case Mixed:
+		if g.phaseLeft == 0 {
+			g.streamMode = !g.streamMode
+			g.phaseLeft = 256 + g.rng.Intn(768)
+		}
+		g.phaseLeft--
+		if g.streamMode {
+			return g.streamStep(128)
+		}
+		page := g.zipf.Uint64()
+		return (page*mem.BlocksPage + uint64(g.rng.Intn(mem.BlocksPage))) % g.blocks
+	}
+	return 0
+}
+
+// streamStep walks sequentially in runs of runLen blocks, jumping to a
+// random position between runs.
+func (g *Generator) streamStep(runLen int) uint64 {
+	if g.runLeft == 0 {
+		g.cursor = uint64(g.rng.Int63()) % g.blocks
+		g.runLeft = runLen/2 + g.rng.Intn(runLen)
+	}
+	g.runLeft--
+	g.cursor = (g.cursor + 1) % g.blocks
+	return g.cursor
+}
+
+// Burst shape: mean ops per burst and mean instructions between ops inside
+// a burst. The long gap between bursts preserves the overall MPKI.
+const (
+	meanBurstLen  = 16
+	withinGapMean = 2.0
+)
+
+// Next implements trace.Source; the stream is infinite.
+func (g *Generator) Next() (trace.Record, bool) {
+	var gapF float64
+	if g.burstLeft > 0 {
+		g.burstLeft--
+		gapF = g.rng.ExpFloat64() * withinGapMean
+	} else {
+		g.burstLeft = 1 + g.rng.Intn(2*meanBurstLen-1) // mean ~= meanBurstLen
+		if g.longGap == 0 {
+			g.longGap = float64(meanBurstLen) * (g.meanGap - 1 - withinGapMean)
+			if g.longGap < 0 {
+				g.longGap = 0
+			}
+		}
+		gapF = g.rng.ExpFloat64() * g.longGap
+	}
+	gap := uint32(gapF)
+	if gap > 1_000_000 {
+		gap = 1_000_000
+	}
+	typ := mem.Read
+	var block uint64
+	if g.rng.Float64() < g.spec.WriteFrac && g.filled >= len(g.recent) {
+		// Write-backs target blocks brought in recently: a dirty line
+		// evicted from the LLC was filled not long ago.
+		typ = mem.Write
+		block = g.recent[g.rng.Intn(len(g.recent))]
+	} else {
+		block = g.nextBlock()
+		g.recent[g.rpos] = block
+		g.rpos = (g.rpos + 1) % len(g.recent)
+		g.filled++
+	}
+	return trace.Record{Gap: gap, Type: typ, VAddr: g.addr(block)}, true
+}

@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"repro/internal/trace"
+)
+
+// MixSources builds per-core trace sources for a heterogeneous
+// multi-programmed mix — an extension beyond the paper's homogeneous
+// "4 copies of the same program" methodology. Each named benchmark gets its
+// own deterministic generator; seeds are diversified per slot so two slots
+// running the same benchmark do not march in lockstep.
+func MixSources(names []string, seed int64) ([]trace.Source, []Spec, error) {
+	sources := make([]trace.Source, 0, len(names))
+	specs := make([]Spec, 0, len(names))
+	for i, name := range names {
+		spec, err := ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources = append(sources, NewGenerator(spec, seed+int64(i)*104729+1))
+		specs = append(specs, spec)
+	}
+	return sources, specs, nil
+}
+
+// MixIntensity returns the arithmetic-mean MPKI of a mix, a rough measure
+// of its aggregate memory pressure.
+func MixIntensity(specs []Spec) float64 {
+	if len(specs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range specs {
+		sum += s.MPKI
+	}
+	return sum / float64(len(specs))
+}

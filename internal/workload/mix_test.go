@@ -1,0 +1,44 @@
+package workload
+
+import "testing"
+
+func TestMixSources(t *testing.T) {
+	srcs, specs, err := MixSources([]string{"mcf", "lbm", "pr", "mcf"}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 4 || len(specs) != 4 {
+		t.Fatalf("got %d sources / %d specs, want 4/4", len(srcs), len(specs))
+	}
+	// Two mcf slots must not march in lockstep.
+	a, _ := srcs[0].Next()
+	b, _ := srcs[3].Next()
+	diverged := a != b
+	for i := 0; i < 50 && !diverged; i++ {
+		a, _ = srcs[0].Next()
+		b, _ = srcs[3].Next()
+		diverged = a != b
+	}
+	if !diverged {
+		t.Fatal("same-benchmark slots should use different seeds")
+	}
+}
+
+func TestMixSourcesUnknown(t *testing.T) {
+	if _, _, err := MixSources([]string{"mcf", "nope"}, 1); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestMixIntensity(t *testing.T) {
+	_, specs, err := MixSources([]string{"mcf", "lbm"}, 1) // 32 + 28
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MixIntensity(specs); got != 30 {
+		t.Fatalf("mix intensity = %v, want 30", got)
+	}
+	if MixIntensity(nil) != 0 {
+		t.Fatal("empty mix should report 0")
+	}
+}

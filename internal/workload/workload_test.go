@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 31 {
+		t.Fatalf("got %d benchmarks, want 31 (Table IV)", len(specs))
+	}
+	suites := map[string]int{}
+	names := map[string]bool{}
+	for _, s := range specs {
+		suites[s.Suite]++
+		if names[s.Name] {
+			t.Fatalf("duplicate benchmark %q", s.Name)
+		}
+		names[s.Name] = true
+		if s.WorkingSetMB <= 0 || s.MPKI <= 0 || s.WriteFrac < 0 || s.WriteFrac > 1 {
+			t.Fatalf("%s: invalid parameters %+v", s.Name, s)
+		}
+	}
+	if suites["SPEC2017"] != 15 || suites["GAP"] != 6 || suites["NAS"] != 10 {
+		t.Fatalf("suite sizes %v, want SPEC=15 GAP=6 NAS=10", suites)
+	}
+}
+
+func TestTop15(t *testing.T) {
+	top := TopMemoryIntensive()
+	if len(top) != 15 {
+		t.Fatalf("top memory-intensive = %d benchmarks, want 15", len(top))
+	}
+	want := map[string]bool{}
+	for _, n := range []string{"pr", "sssp", "bc", "cc", "mcf", "bfs", "lbm", "cg",
+		"bwaves", "tc", "mg", "omnetpp", "cactuBSSN", "sp", "xz"} {
+		want[n] = true
+	}
+	for _, n := range top {
+		if !want[n] {
+			t.Fatalf("unexpected top-15 member %q", n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("mcf")
+	if err != nil || s.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	spec, _ := ByName("pr")
+	a := NewGenerator(spec, 7)
+	b := NewGenerator(spec, 7)
+	for i := 0; i < 1000; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra != rb {
+			t.Fatalf("divergence at record %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+	c := NewGenerator(spec, 8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		ra, _ := a.Next()
+		rc, _ := c.Next()
+		if ra == rc {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/1000 identical records", same)
+	}
+}
+
+func TestGeneratorStaysInWorkingSet(t *testing.T) {
+	for _, name := range []string{"lbm", "mcf", "pr", "gcc", "cactuBSSN", "ft"} {
+		spec, _ := ByName(name)
+		g := NewGenerator(spec, 1)
+		limit := uint64(spec.WorkingSetMB) * 1024 * 1024
+		for i := 0; i < 5000; i++ {
+			r, ok := g.Next()
+			if !ok {
+				t.Fatalf("%s: generator should be infinite", name)
+			}
+			off := uint64(r.VAddr) - 0x5000_0000_0000
+			if off >= limit {
+				t.Fatalf("%s: address offset %#x beyond working set %#x", name, off, limit)
+			}
+			if uint64(r.VAddr)%mem.BlockSize != 0 {
+				t.Fatalf("%s: address %#x not block aligned", name, r.VAddr)
+			}
+		}
+	}
+}
+
+func TestGeneratorMPKI(t *testing.T) {
+	// Mean instructions per op should track 1000/MPKI within 25%.
+	for _, name := range []string{"pr", "xz", "gcc"} {
+		spec, _ := ByName(name)
+		g := NewGenerator(spec, 3)
+		const n = 200_000
+		var instr float64
+		for i := 0; i < n; i++ {
+			r, _ := g.Next()
+			instr += float64(r.Gap) + 1
+		}
+		got := 1000 * n / instr
+		if got < spec.MPKI*0.75 || got > spec.MPKI*1.25 {
+			t.Errorf("%s: generated MPKI %.1f, want ~%.1f", name, got, spec.MPKI)
+		}
+	}
+}
+
+func TestGeneratorWriteFraction(t *testing.T) {
+	spec, _ := ByName("lbm") // writeFrac 0.45
+	g := NewGenerator(spec, 5)
+	const n = 50_000
+	writes := 0
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if r.Type == mem.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < spec.WriteFrac-0.07 || frac > spec.WriteFrac+0.07 {
+		t.Fatalf("write fraction %.2f, want ~%.2f", frac, spec.WriteFrac)
+	}
+}
+
+func TestStreamHasSpatialLocality(t *testing.T) {
+	spec, _ := ByName("bwaves")
+	g := NewGenerator(spec, 9)
+	sequential := 0
+	var prev trace.Record
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if i > 0 && r.Type == mem.Read && prev.Type == mem.Read &&
+			r.VAddr == prev.VAddr+mem.BlockSize {
+			sequential++
+		}
+		if r.Type == mem.Read {
+			prev = r
+		}
+	}
+	if sequential < n/4 {
+		t.Fatalf("stream generator produced only %d/%d sequential pairs", sequential, n)
+	}
+}
+
+func TestChaseHasNoSpatialLocality(t *testing.T) {
+	spec, _ := ByName("mcf")
+	g := NewGenerator(spec, 9)
+	nearby := 0
+	var prev mem.VirtAddr
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if i > 0 && r.VAddr.Page() == prev.Page() {
+			nearby++
+		}
+		prev = r.VAddr
+	}
+	// Write-backs revisit recent pages, so allow some locality, but reads
+	// should be scattered.
+	if nearby > n/3 {
+		t.Fatalf("chase generator produced %d/%d same-page pairs", nearby, n)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	spec, _ := ByName("pr")
+	g := NewGenerator(spec, 11)
+	pages := map[uint64]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		pages[r.VAddr.Page()]++
+	}
+	// Power-law: the hottest 1% of touched pages should absorb well over
+	// 1% of accesses.
+	var counts []int
+	for _, c := range pages {
+		counts = append(counts, c)
+	}
+	hot := 0
+	total := 0
+	max := 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	hot = max
+	if float64(hot)/float64(total) < 0.01 {
+		t.Fatalf("zipf generator too uniform: hottest page %.4f of accesses", float64(hot)/float64(total))
+	}
+}
+
+func TestBurstiness(t *testing.T) {
+	// Bursty arrivals: a meaningful fraction of gaps must be tiny while
+	// the mean stays at 1000/MPKI (checked in TestGeneratorMPKI).
+	spec, _ := ByName("bwaves")
+	g := NewGenerator(spec, 13)
+	small := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		if r.Gap <= 4 {
+			small++
+		}
+	}
+	if float64(small)/n < 0.5 {
+		t.Fatalf("only %.2f of gaps are burst-small; generator not bursty", float64(small)/n)
+	}
+}
+
+func TestMemoryIntensiveThreshold(t *testing.T) {
+	for _, s := range Specs() {
+		want := s.MPKI >= 13
+		if s.MemoryIntensive() != want {
+			t.Fatalf("%s: MemoryIntensive()=%v with MPKI %.1f", s.Name, s.MemoryIntensive(), s.MPKI)
+		}
+	}
+}
