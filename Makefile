@@ -1,0 +1,18 @@
+# See README "Install"; `make check` is the pre-commit gate.
+
+.PHONY: check build test race bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/stats/... ./internal/obs/...
+
+bench:
+	go test -bench=. -benchmem

@@ -9,9 +9,13 @@ package repro
 import (
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/reliability"
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // benchOpts returns reduced-scale options writing to io.Discard.
@@ -162,6 +166,68 @@ func BenchmarkFig13CacheSize(b *testing.B) {
 		if len(rows) != 6 {
 			b.Fatal("fig 13 must have 6 rows")
 		}
+	}
+}
+
+// BenchmarkObsOverheadGuard bounds the cost of the observability hooks when
+// observability is disabled. It compares a bare run (cfg.Obs == nil) against
+// an instrumented-but-disabled run (an Observer with every feature off, so
+// each hook pays exactly its nil check) and fails if either the simulated
+// cycle counts diverge or the disabled hooks cost more than 5% wall time.
+// Interleaved min-of-trials filters scheduler noise.
+func BenchmarkObsOverheadGuard(b *testing.B) {
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		SchemeName: "itesp",
+		Benchmark:  spec,
+		Cores:      2,
+		Channels:   1,
+		OpsPerCore: 10_000,
+		Seed:       42,
+	}
+	run := func(ob *obs.Observer) (uint64, time.Duration) {
+		c := cfg
+		c.Obs = ob
+		start := time.Now()
+		r, err := sim.Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.Cycles, time.Since(start)
+	}
+
+	const trials = 5
+	minBare, minHooked := time.Duration(1<<62), time.Duration(1<<62)
+	var bareCycles, hookedCycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < trials; t++ {
+			c, d := run(nil)
+			bareCycles = c
+			if d < minBare {
+				minBare = d
+			}
+			c, d = run(obs.New(obs.Config{}))
+			hookedCycles = c
+			if d < minHooked {
+				minHooked = d
+			}
+		}
+	}
+	b.StopTimer()
+
+	if bareCycles != hookedCycles {
+		b.Fatalf("disabled observability changed simulated cycles: %d vs %d",
+			bareCycles, hookedCycles)
+	}
+	overhead := 100 * (minHooked.Seconds() - minBare.Seconds()) / minBare.Seconds()
+	b.ReportMetric(overhead, "overhead_pct")
+	if overhead > 5 {
+		b.Fatalf("disabled-observability overhead %.2f%% exceeds 5%% budget (bare %v, hooked %v)",
+			overhead, minBare, minHooked)
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -30,7 +32,22 @@ func main() {
 	seed := flag.Int64("seed", 42, "trace generation seed")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default: CPUs-1)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
+	metricsDir := flag.String("metrics", "", "write a per-run metrics snapshot JSON under this directory")
+	timeseriesDir := flag.String("timeseries", "", "write a per-run epoch time-series CSV under this directory")
+	traceDir := flag.String("trace-events", "", "write a per-run Chrome trace-event JSON under this directory")
+	epoch := flag.Uint64("epoch", 0, "epoch interval in CPU cycles for -timeseries (0 = default 50000)")
+	traceCap := flag.Int("trace-cap", 0, "per-run event ring capacity for -trace-events (0 = default 1M)")
+	progress := flag.Bool("progress", false, "print per-simulation sweep progress to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the sweep runs")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	jsonOut := map[string]any{}
 
@@ -38,6 +55,18 @@ func main() {
 		OpsPerCore: *ops,
 		Seed:       *seed,
 		Parallel:   *parallel,
+		Obs: experiments.ObsOptions{
+			MetricsDir:    *metricsDir,
+			TimeseriesDir: *timeseriesDir,
+			TraceDir:      *traceDir,
+			EpochCycles:   *epoch,
+			TraceCap:      *traceCap,
+		},
+	}
+	if *progress {
+		o.Obs.OnRunDone = func(done, total int, key string) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, key)
+		}
 	}
 	if *bench != "" {
 		o.Benchmarks = strings.Split(*bench, ",")

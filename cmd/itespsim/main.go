@@ -5,16 +5,25 @@
 // Usage:
 //
 //	itespsim -scheme itesp -bench mcf -cores 4 -channels 1 -ops 100000
+//
+// Observability (see README "Observability"):
+//
+//	itespsim -scheme itesp -bench mcf -metrics m.json -timeseries ts.csv \
+//	         -trace-events tr.json -progress
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -33,7 +42,22 @@ func main() {
 	ddr4 := flag.Bool("ddr4", false, "use DDR4-2400 timing instead of DDR3-1600")
 	llcFilter := flag.Bool("llc", false, "interpose a per-core LLC filter (emergent writebacks)")
 	traceFiles := flag.String("trace", "", "comma-separated per-core trace files (from tracegen) instead of generators")
+	metrics := flag.String("metrics", "", "write end-of-run metrics snapshot to this file (JSON; *.prom writes Prometheus text)")
+	timeseries := flag.String("timeseries", "", "write epoch time-series to this file (CSV; *.json writes JSON)")
+	epoch := flag.Uint64("epoch", 50_000, "epoch interval in CPU cycles for -timeseries")
+	traceEvents := flag.String("trace-events", "", "write Chrome trace-event JSON to this file (open in Perfetto)")
+	traceCap := flag.Int("trace-cap", 1<<20, "event ring-buffer capacity for -trace-events (oldest dropped)")
+	progress := flag.Bool("progress", false, "print live simulation progress to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	spec, err := workload.ByName(*bench)
 	if err != nil {
@@ -58,6 +82,28 @@ func main() {
 			sources = append(sources, trace.NewReader(f))
 		}
 	}
+
+	var ob *obs.Observer
+	if *metrics != "" || *timeseries != "" || *traceEvents != "" || *progress {
+		obCfg := obs.Config{Metrics: *metrics != ""}
+		if *timeseries != "" {
+			obCfg.EpochCycles = *epoch
+		}
+		if *traceEvents != "" {
+			obCfg.TraceCapacity = *traceCap
+		}
+		if *progress {
+			obCfg.Progress = func(s obs.ProgressStat) {
+				pct := 0.0
+				if s.OpsTarget > 0 {
+					pct = 100 * float64(s.OpsDone) / float64(s.OpsTarget)
+				}
+				fmt.Fprintf(os.Stderr, "\rcycle %12d  ops %d/%d (%5.1f%%)", s.CPUCycles, s.OpsDone, s.OpsTarget, pct)
+			}
+		}
+		ob = obs.New(obCfg)
+	}
+
 	r, err := sim.Run(sim.Config{
 		SchemeName:    *scheme,
 		Benchmark:     spec,
@@ -71,8 +117,16 @@ func main() {
 		DDR4:          *ddr4,
 		FilterLLC:     *llcFilter,
 		Sources:       sources,
+		Obs:           ob,
 	})
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := writeArtifacts(ob, *metrics, *timeseries, *traceEvents); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -100,4 +154,52 @@ func main() {
 			fmt.Printf("  %-8s reads/op=%.3f writes/op=%.3f\n", k, rd, wr)
 		}
 	}
+	if ob != nil && ob.Trace != nil && ob.Trace.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring wrapped, %d oldest events dropped (raise -trace-cap)\n", ob.Trace.Dropped())
+	}
+}
+
+// writeArtifacts dumps the enabled observability outputs to their files,
+// picking the format from the file extension.
+func writeArtifacts(ob *obs.Observer, metrics, timeseries, traceEvents string) error {
+	write := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if metrics != "" {
+		snap := ob.Registry.Snapshot()
+		if err := write(metrics, func(f *os.File) error {
+			if filepath.Ext(metrics) == ".prom" {
+				return snap.WritePrometheus(f)
+			}
+			return snap.WriteJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if timeseries != "" {
+		if err := write(timeseries, func(f *os.File) error {
+			if filepath.Ext(timeseries) == ".json" {
+				return ob.Series.WriteJSON(f)
+			}
+			return ob.Series.WriteCSV(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if traceEvents != "" {
+		if err := write(traceEvents, func(f *os.File) error {
+			return ob.Trace.WriteChromeJSON(f)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -10,7 +10,9 @@ package cache
 
 import (
 	"fmt"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -304,3 +306,30 @@ func (c *Cache) Occupancy() int {
 
 // NumLines returns the total line capacity.
 func (c *Cache) NumLines() int { return len(c.sets) * c.cfg.Ways }
+
+// Register exposes the cache's stats in an observability registry under
+// the given labels (typically {"cache": "meta"|"mac"|"parity"|"llc"}).
+// Partitioned caches additionally expose per-partition hit rates.
+func (c *Cache) Register(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("cache_hits_total", labels, &c.Stats.Hits)
+	reg.Counter("cache_misses_total", labels, &c.Stats.Misses)
+	reg.Counter("cache_dirty_evicts_total", labels, &c.Stats.DirtyEvicts)
+	reg.Counter("cache_clean_evicts_total", labels, &c.Stats.CleanEvicts)
+	reg.Gauge("cache_hit_rate", labels, c.Stats.HitRate)
+	reg.Gauge("cache_use_per_block_mean", labels, c.MeanUseIncludingResident)
+	reg.Gauge("cache_occupancy_lines", labels, func() float64 { return float64(c.Occupancy()) })
+	if c.cfg.Partitions > 1 {
+		for p := 0; p < c.cfg.Partitions; p++ {
+			pl := make(obs.Labels, len(labels)+1)
+			for k, v := range labels {
+				pl[k] = v
+			}
+			pl["partition"] = strconv.Itoa(p)
+			r := &c.PartStats[p]
+			reg.Gauge("cache_partition_hit_rate", pl, r.Value)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/enclave"
 	"repro/internal/integrity"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/parity"
 	"repro/internal/trace"
 )
@@ -63,6 +64,12 @@ type Engine struct {
 
 	scratch []mem.PhysAddr
 
+	// tr, when non-nil, receives cycle-stamped engine events on the
+	// per-core tracks in trTracks. Disabled (nil) costs one branch per
+	// hook and allocates nothing.
+	tr       *obs.Tracer
+	trTracks []obs.TrackID
+
 	Stats Stats
 }
 
@@ -71,6 +78,10 @@ type Engine struct {
 type accessGroup struct {
 	token     uint64
 	remaining int
+	// core and issueTS are recorded for trace emission (issue-to-complete
+	// read slices); issueTS is only meaningful while tracing is attached.
+	core    int
+	issueTS uint64
 }
 
 // counterSim abstracts the counter-value simulation used for overflow
@@ -209,6 +220,33 @@ func parityStride(p addrmap.Policy, share int) int {
 	return 1
 }
 
+// AttachObs connects the engine to the observability layer: its stats (and
+// its metadata caches') are registered into reg, and events are emitted to
+// tr on the given per-core tracks. Both may be nil; call before the first
+// Access. Observation is read-only — attaching never changes simulated
+// behavior or cycle counts.
+func (e *Engine) AttachObs(reg *obs.Registry, tr *obs.Tracer, coreTracks []obs.TrackID) {
+	if tr != nil && len(coreTracks) >= e.cfg.Cores {
+		e.tr = tr
+		e.trTracks = coreTracks
+	}
+	if reg == nil {
+		return
+	}
+	e.Stats.Register(reg)
+	if e.meta != nil {
+		e.meta.Register(reg, obs.Labels{"cache": "meta"})
+	}
+	if e.macC != nil {
+		e.macC.Register(reg, obs.Labels{"cache": "mac"})
+	}
+	if e.parC != nil {
+		e.parC.Register(reg, obs.Labels{"cache": "parity"})
+	}
+	reg.Gauge("engine_counter_overflows", nil, func() float64 { return float64(e.Overflows()) })
+	reg.Gauge("engine_spill_occupancy", nil, func() float64 { return float64(len(e.spill)) })
+}
+
 // Scheme returns the engine's scheme.
 func (e *Engine) Scheme() Scheme { return e.scheme }
 
@@ -262,7 +300,14 @@ func (e *Engine) Access(core int, rec trace.Record) (token uint64, accepted bool
 	var group *accessGroup
 	if !isWrite {
 		e.nextToken++
-		group = &accessGroup{token: e.nextToken, remaining: 1}
+		group = &accessGroup{token: e.nextToken, remaining: 1, core: core}
+	}
+	if e.tr != nil {
+		if group != nil {
+			group.issueTS = e.tr.Now()
+		} else {
+			e.tr.Instant(e.trTracks[core], "op.write")
+		}
 	}
 	e.pushData(pa, rec.Type, id, core, group)
 
@@ -271,8 +316,14 @@ func (e *Engine) Access(core int, rec trace.Record) (token uint64, accepted bool
 		macMissed := false
 		if !e.scheme.MACInECC {
 			macMissed = e.handleMAC(core, pa, isWrite, id, group)
+			if macMissed && e.tr != nil {
+				e.tr.Instant(e.trTracks[core], "mac.fetch")
+			}
 		}
 		depth := e.handleTree(treeIdx, local, isWrite, id, core, group)
+		if depth > 0 && e.tr != nil {
+			e.tr.InstantArg(e.trTracks[core], "tree.walk", "levels", int64(depth))
+		}
 		if isWrite {
 			if e.scheme.ModelOverflow {
 				e.counters[treeIdx].Write(local)
@@ -375,6 +426,9 @@ func (e *Engine) handleParity(treeIdx int, local uint64, pa mem.PhysAddr, id mem
 				// RAID-5 read-modify-write on every data write.
 				e.pushRead(addr, mem.KindParity, id, core, nil)
 				e.Stats.ParityRMW.Inc()
+				if e.tr != nil {
+					e.tr.Instant(e.trTracks[core], "parity.rmw")
+				}
 			}
 			e.pushWrite(addr, mem.KindParity, id, core)
 			return
@@ -389,6 +443,9 @@ func (e *Engine) handleParity(treeIdx int, local uint64, pa mem.PhysAddr, id mem
 				// old parity, apply, write back (Section III-C).
 				e.pushRead(mem.PhysAddr(ev.Line.Addr), mem.KindParity, id, core, nil)
 				e.Stats.ParityRMW.Inc()
+				if e.tr != nil {
+					e.tr.Instant(e.trTracks[core], "parity.rmw")
+				}
 			}
 			// Masked write transfer of the dirty parity words.
 			e.pushWrite(mem.PhysAddr(ev.Line.Addr), mem.KindParity, id, core)
@@ -474,6 +531,10 @@ func (e *Engine) Tick() []uint64 {
 		group.remaining--
 		if group.remaining == 0 {
 			tokens = append(tokens, group.token)
+			if e.tr != nil {
+				now := e.tr.Now()
+				e.tr.Slice(e.trTracks[group.core], "op.read", group.issueTS, now-group.issueTS)
+			}
 		}
 	}
 	return tokens

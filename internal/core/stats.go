@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -71,8 +72,12 @@ type Stats struct {
 	MetaReads  [mem.NumKinds]stats.Counter
 	MetaWrites [mem.NumKinds]stats.Counter
 
-	// Patterns histograms data operations by Figure 3 case.
-	Patterns [NumPatternCases]stats.Counter
+	// Patterns histograms data operations by Figure 3 case, split by
+	// direction: Patterns[0] counts reads, Patterns[1] writes. Writes see
+	// deeper tree activity than reads under write-allocate metadata
+	// caching, so the split is exposed separately (PatternFracBy) while
+	// PatternFrac keeps reporting the combined Figure 3 distribution.
+	Patterns [2][NumPatternCases]stats.Counter
 
 	// ParityRMW counts read-modify-write parity updates (shared parity).
 	ParityRMW stats.Counter
@@ -82,7 +87,11 @@ type Stats struct {
 }
 
 func (s *Stats) recordPattern(isWrite, macMissed bool, depth int) {
-	s.Patterns[classify(macMissed, depth)].Inc()
+	w := 0
+	if isWrite {
+		w = 1
+	}
+	s.Patterns[w][classify(macMissed, depth)].Inc()
 }
 
 // DataOps returns total data operations.
@@ -117,7 +126,7 @@ func (s *Stats) KindPerOp(k mem.Kind) (reads, writes float64) {
 }
 
 // PatternFrac returns the fraction of data operations in each Figure 3
-// case.
+// case, reads and writes combined.
 func (s *Stats) PatternFrac() [NumPatternCases]float64 {
 	var out [NumPatternCases]float64
 	ops := s.DataOps()
@@ -125,7 +134,51 @@ func (s *Stats) PatternFrac() [NumPatternCases]float64 {
 		return out
 	}
 	for i := range out {
-		out[i] = float64(s.Patterns[i].Value()) / float64(ops)
+		n := s.Patterns[0][i].Value() + s.Patterns[1][i].Value()
+		out[i] = float64(n) / float64(ops)
 	}
 	return out
+}
+
+// PatternFracBy returns the Figure 3 case distribution of one direction,
+// normalized by that direction's operation count.
+func (s *Stats) PatternFracBy(isWrite bool) [NumPatternCases]float64 {
+	var out [NumPatternCases]float64
+	w, ops := 0, s.DataReads.Value()
+	if isWrite {
+		w, ops = 1, s.DataWrites.Value()
+	}
+	if ops == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = float64(s.Patterns[w][i].Value()) / float64(ops)
+	}
+	return out
+}
+
+// Register exposes every engine-side counter in an observability registry.
+func (s *Stats) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("engine_data_ops_total", obs.Labels{"op": "read"}, &s.DataReads)
+	reg.Counter("engine_data_ops_total", obs.Labels{"op": "write"}, &s.DataWrites)
+	for k := 0; k < mem.NumKinds; k++ {
+		if mem.Kind(k) == mem.KindData {
+			continue
+		}
+		kind := mem.Kind(k).String()
+		reg.Counter("engine_meta_txns_total", obs.Labels{"kind": kind, "op": "read"}, &s.MetaReads[k])
+		reg.Counter("engine_meta_txns_total", obs.Labels{"kind": kind, "op": "write"}, &s.MetaWrites[k])
+	}
+	for w, op := range [...]string{"read", "write"} {
+		for c := 0; c < NumPatternCases; c++ {
+			reg.Counter("engine_pattern_ops_total",
+				obs.Labels{"case": PatternCase(c).String(), "op": op}, &s.Patterns[w][c])
+		}
+	}
+	reg.Counter("engine_parity_rmw_total", nil, &s.ParityRMW)
+	reg.Counter("engine_parity_split_leaf_total", nil, &s.ParitySplitLeaf)
+	reg.Gauge("engine_meta_accesses_per_op", nil, s.MetaAccessesPerOp)
 }

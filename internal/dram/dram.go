@@ -2,9 +2,11 @@ package dram
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/addrmap"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -154,6 +156,11 @@ type channel struct {
 	// timing invariants (test instrumentation).
 	check *Checker
 
+	// tr, when attached, receives one instant event per issued DRAM
+	// command on this channel's trace track.
+	tr    *obs.Tracer
+	track obs.TrackID
+
 	Stats ChannelStats
 }
 
@@ -198,6 +205,45 @@ func (m *Memory) AttachCheckers() []*Checker {
 		out[i] = ch.check
 	}
 	return out
+}
+
+// AttachObs connects the memory system to the observability layer:
+// per-channel stats are registered into reg, and every issued DRAM command
+// emits an instant event to tr on the matching channel track. Both may be
+// nil. Observation is read-only and never alters scheduling decisions.
+func (m *Memory) AttachObs(reg *obs.Registry, tr *obs.Tracer, chanTracks []obs.TrackID) {
+	for c, ch := range m.channels {
+		if tr != nil && len(chanTracks) > c {
+			ch.tr = tr
+			ch.track = chanTracks[c]
+		}
+		if reg != nil {
+			ch.Stats.register(reg, strconv.Itoa(c))
+		}
+	}
+}
+
+// register exposes one channel's stats under {"channel": c}.
+func (s *ChannelStats) register(reg *obs.Registry, c string) {
+	l := obs.Labels{"channel": c}
+	cmd := func(name string, ctr *stats.Counter) {
+		reg.Counter("dram_commands_total", obs.Labels{"channel": c, "cmd": name}, ctr)
+	}
+	cmd("read", &s.Reads)
+	cmd("write", &s.Writes)
+	cmd("activate", &s.Activates)
+	cmd("precharge", &s.Precharges)
+	cmd("refresh", &s.Refreshes)
+	reg.Counter("dram_row_hits_total", l, &s.RowHits)
+	reg.Counter("dram_row_misses_total", l, &s.RowMisses)
+	reg.Counter("dram_bus_busy_cycles_total", l, &s.BusBusy)
+	reg.Gauge("dram_row_hit_rate", l, s.RowHitRate)
+	reg.Gauge("dram_read_latency_mean_cycles", l, s.ReadLat.Value)
+	for k := 0; k < mem.NumKinds; k++ {
+		kl := obs.Labels{"channel": c, "kind": mem.Kind(k).String()}
+		reg.Counter("dram_kind_reads_total", kl, &s.KindReads[k])
+		reg.Counter("dram_kind_writes_total", kl, &s.KindWrites[k])
+	}
 }
 
 // Now returns the current DRAM cycle.
@@ -332,6 +378,9 @@ func (ch *channel) issueRefresh(now uint64) bool {
 					if ch.check != nil {
 						ch.check.OnPrecharge(now, r, b)
 					}
+					if ch.tr != nil {
+						ch.tr.InstantArg2(ch.track, "PRE", "rank", int64(r), "bank", int64(b))
+					}
 					ch.precharge(rk, bk, now)
 					return true
 				}
@@ -341,6 +390,9 @@ func (ch *channel) issueRefresh(now uint64) bool {
 			// Issue REF.
 			if ch.check != nil {
 				ch.check.OnRefresh(now, r)
+			}
+			if ch.tr != nil {
+				ch.tr.InstantArg(ch.track, "REF", "rank", int64(r))
 			}
 			rk.refUntil = now + ch.cfg.Timing.TRFC
 			rk.nextRef += ch.cfg.Timing.TREFI
@@ -482,6 +534,9 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 		if ch.check != nil {
 			ch.check.OnActivate(now, t.Loc.Rank, t.Loc.Bank, t.Loc.Row)
 		}
+		if ch.tr != nil {
+			ch.tr.InstantArg2(ch.track, "ACT", "bank", int64(t.Loc.Bank), "row", int64(t.Loc.Row))
+		}
 		bk.open = true
 		bk.row = t.Loc.Row
 		bk.nextCol = now + tm.TRCD
@@ -496,10 +551,20 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 		if ch.check != nil {
 			ch.check.OnPrecharge(now, t.Loc.Rank, t.Loc.Bank)
 		}
+		if ch.tr != nil {
+			ch.tr.InstantArg2(ch.track, "PRE", "rank", int64(t.Loc.Rank), "bank", int64(t.Loc.Bank))
+		}
 		ch.precharge(rk, bk, now)
 	case cmdRead, cmdWrite:
 		if ch.check != nil {
 			ch.check.OnColumn(now, t.Loc.Rank, t.Loc.Bank, t.Loc.Row, c == cmdWrite)
+		}
+		if ch.tr != nil {
+			name := "RD"
+			if c == cmdWrite {
+				name = "WR"
+			}
+			ch.tr.InstantArg2(ch.track, name, "rank", int64(t.Loc.Rank), "bank", int64(t.Loc.Bank))
 		}
 		var burstStart uint64
 		if c == cmdRead {

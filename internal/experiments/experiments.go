@@ -9,10 +9,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -35,6 +38,96 @@ type Options struct {
 	Parallel int
 	// W receives the printed table (default os.Stdout).
 	W io.Writer
+	// Obs configures per-simulation observability artifacts and sweep
+	// progress reporting.
+	Obs ObsOptions
+}
+
+// ObsOptions attach the observability layer to every simulation of an
+// experiment sweep. Each enabled directory receives one file per run,
+// named after the run key (e.g. itesp_mcf.metrics.json); every parallel
+// simulation gets its own obs.Observer, so the internal/stats single-owner
+// contract holds.
+type ObsOptions struct {
+	// MetricsDir receives a metrics snapshot JSON per run.
+	MetricsDir string
+	// TimeseriesDir receives an epoch time-series CSV per run.
+	TimeseriesDir string
+	// TraceDir receives a Chrome trace-event JSON per run.
+	TraceDir string
+	// EpochCycles is the time-series sampling interval (default 50k CPU
+	// cycles); TraceCap is the per-run event ring capacity (default 1M).
+	EpochCycles uint64
+	TraceCap    int
+	// OnRunDone, when non-nil, is called after each simulation finishes
+	// with the completed count, the total, and the run's key. Calls are
+	// serialized.
+	OnRunDone func(done, total int, key string)
+}
+
+func (ob ObsOptions) artifactsEnabled() bool {
+	return ob.MetricsDir != "" || ob.TimeseriesDir != "" || ob.TraceDir != ""
+}
+
+// observer builds a fresh per-run Observer, or nil when disabled.
+func (ob ObsOptions) observer() *obs.Observer {
+	if !ob.artifactsEnabled() {
+		return nil
+	}
+	cfg := obs.Config{Metrics: ob.MetricsDir != ""}
+	if ob.TimeseriesDir != "" {
+		cfg.EpochCycles = ob.EpochCycles
+		if cfg.EpochCycles == 0 {
+			cfg.EpochCycles = 50_000
+		}
+	}
+	if ob.TraceDir != "" {
+		cfg.TraceCapacity = ob.TraceCap
+		if cfg.TraceCapacity == 0 {
+			cfg.TraceCapacity = 1 << 20
+		}
+	}
+	return obs.New(cfg)
+}
+
+// writeArtifacts dumps one run's enabled artifacts under the configured
+// directories (created on demand). The key's path separators are
+// flattened so "itesp/mcf" becomes "itesp_mcf".
+func (ob ObsOptions) writeArtifacts(key string, o *obs.Observer) error {
+	if o == nil {
+		return nil
+	}
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(key)
+	write := func(dir, suffix string, fn func(io.Writer) error) error {
+		if dir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+suffix))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(ob.MetricsDir, ".metrics.json", func(w io.Writer) error {
+		return o.Registry.Snapshot().WriteJSON(w)
+	}); err != nil {
+		return err
+	}
+	if err := write(ob.TimeseriesDir, ".timeseries.csv", func(w io.Writer) error {
+		return o.Series.WriteCSV(w)
+	}); err != nil {
+		return err
+	}
+	return write(ob.TraceDir, ".trace.json", func(w io.Writer) error {
+		return o.Trace.WriteChromeJSON(w)
+	})
 }
 
 func (o Options) writer() io.Writer {
@@ -101,11 +194,14 @@ type job struct {
 }
 
 // runBatch executes jobs in parallel and returns results keyed by job key.
-func runBatch(jobs []job, parallel int) (map[string]*sim.Result, error) {
+// When o.Obs enables artifacts, each job runs with its own observer and
+// writes its files before the job is counted done.
+func runBatch(o Options, jobs []job) (map[string]*sim.Result, error) {
 	results := make(map[string]*sim.Result, len(jobs))
 	var mu sync.Mutex
 	var firstErr error
-	sem := make(chan struct{}, parallel)
+	done := 0
+	sem := make(chan struct{}, o.parallel())
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
@@ -113,9 +209,18 @@ func runBatch(jobs []job, parallel int) (map[string]*sim.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			ob := o.Obs.observer()
+			j.cfg.Obs = ob
 			r, err := sim.Run(j.cfg)
+			if err == nil {
+				err = o.Obs.writeArtifacts(j.key, ob)
+			}
 			mu.Lock()
 			defer mu.Unlock()
+			done++
+			if o.Obs.OnRunDone != nil {
+				o.Obs.OnRunDone(done, len(jobs), j.key)
+			}
 			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("%s: %w", j.key, err)

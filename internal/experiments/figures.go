@@ -62,7 +62,7 @@ func runNormalized(o Options, schemes []string, benchDefaults []string, cores, c
 			})
 		}
 	}
-	raw, err := runBatch(jobs, o.parallel())
+	raw, err := runBatch(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +348,7 @@ func Fig13(o Options) ([]Fig13Row, error) {
 				})
 			}
 		}
-		raw, err := runBatch(jobs, o.parallel())
+		raw, err := runBatch(o, jobs)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +402,7 @@ func Fig15(o Options) ([]Fig15Row, error) {
 			}})
 		}
 	}
-	raw, err := runBatch(jobs, o.parallel())
+	raw, err := runBatch(o, jobs)
 	if err != nil {
 		return nil, err
 	}

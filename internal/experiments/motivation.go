@@ -36,7 +36,7 @@ func Fig2(o Options) ([]Fig2Row, error) {
 			OpsPerCore: o.ops(), Seed: o.seed(), DenseAlloc: true,
 		}})
 	}
-	raw, err := runBatch(jobs, o.parallel())
+	raw, err := runBatch(o, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +92,7 @@ func Fig3(o Options) ([]Fig3Row, error) {
 			OpsPerCore: o.ops(), Seed: o.seed(), DenseAlloc: true,
 		}})
 	}
-	raw, err := runBatch(jobs, o.parallel())
+	raw, err := runBatch(o, jobs)
 	if err != nil {
 		return nil, err
 	}

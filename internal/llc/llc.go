@@ -13,6 +13,7 @@ package llc
 import (
 	"repro/internal/cache"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -62,6 +63,26 @@ func NewFilter(src trace.Source, cfg Config) *Filter {
 
 // HitRate returns the LLC hit rate over references so far.
 func (f *Filter) HitRate() float64 { return f.Lookups.Value() }
+
+// Lookups exposed for epoch sampling: cumulative references and hits.
+func (f *Filter) LookupCounts() (hits, total uint64) { return f.Lookups.Hits, f.Lookups.Total }
+
+// Register exposes the filter's stats (and its underlying cache's) in an
+// observability registry under the given labels (typically {"core": "N"}).
+func (f *Filter) Register(reg *obs.Registry, labels obs.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("llc_hit_rate", labels, f.HitRate)
+	reg.Gauge("llc_references_total", labels, func() float64 { return float64(f.Lookups.Total) })
+	reg.Counter("llc_writebacks_total", labels, &f.Writebacks)
+	cl := make(obs.Labels, len(labels)+1)
+	for k, v := range labels {
+		cl[k] = v
+	}
+	cl["cache"] = "llc"
+	f.c.Register(reg, cl)
+}
 
 // Next implements trace.Source: it returns the next post-LLC memory
 // operation.

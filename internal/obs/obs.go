@@ -1,0 +1,128 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// with JSON and Prometheus-text exposition, an epoch time-series sampler
+// for phase-behaviour analysis, and a ring-buffered event tracer that
+// serialises to Chrome trace-event JSON (viewable in Perfetto, with
+// simulated CPU cycles as the timebase).
+//
+// The package wraps the zero-dependency primitives of internal/stats: a
+// registered metric is a *pointer* into a stats counter owned by exactly
+// one simulated component, so registration adds no per-event cost to the
+// hot path. Snapshots, epoch samples, and trace serialisation are taken
+// only by the goroutine driving the simulation (or after sim.Run returns,
+// when the simulation is quiescent), which is how the "not safe for
+// concurrent use" contract of internal/stats is preserved without locks.
+//
+// Every recording entry point is nil-safe: a nil *Registry, *Series,
+// *Tracer, or *Progress ignores all calls, so instrumentation hooks stay
+// allocation-free and branch-predictable when observability is disabled.
+package obs
+
+import "time"
+
+// Config selects which observability features an Observer enables. The
+// zero value disables everything (the Observer then only exercises the
+// nil fast paths — useful for overhead guards).
+type Config struct {
+	// Metrics enables the metrics registry.
+	Metrics bool
+	// EpochCycles enables epoch time-series sampling every this many CPU
+	// cycles (0 = disabled).
+	EpochCycles uint64
+	// TraceCapacity enables event tracing with a ring buffer of this many
+	// events (0 = disabled). When the buffer wraps, the oldest events are
+	// dropped and counted.
+	TraceCapacity int
+	// Progress, when non-nil, receives throttled live-progress callbacks
+	// from the simulation loop.
+	Progress func(ProgressStat)
+	// ProgressEvery is the minimum wall-time between Progress callbacks
+	// (default 1s).
+	ProgressEvery time.Duration
+}
+
+// Observer bundles the observability features attached to one simulation
+// run. Fields are nil when the corresponding feature is disabled; an
+// Observer must not be reused across runs (registered pointers and trace
+// tracks belong to one run's components).
+type Observer struct {
+	Registry *Registry
+	Series   *Series
+	Trace    *Tracer
+	Progress *Progress
+}
+
+// New builds an Observer from cfg.
+func New(cfg Config) *Observer {
+	o := &Observer{}
+	if cfg.Metrics {
+		o.Registry = NewRegistry()
+	}
+	if cfg.EpochCycles > 0 {
+		o.Series = NewSeries(cfg.EpochCycles)
+	}
+	if cfg.TraceCapacity > 0 {
+		o.Trace = NewTracer(cfg.TraceCapacity)
+	}
+	if cfg.Progress != nil {
+		o.Progress = &Progress{Fn: cfg.Progress, Every: cfg.ProgressEvery}
+	}
+	return o
+}
+
+// ProgressStat is one live-progress observation from the simulation loop.
+type ProgressStat struct {
+	// CPUCycles is the current simulated CPU cycle.
+	CPUCycles uint64
+	// OpsDone / OpsTarget count data operations across all cores.
+	OpsDone   uint64
+	OpsTarget uint64
+}
+
+// Progress rate-limits live-progress callbacks: the simulation loop calls
+// Maybe every iteration, and Fn fires at most once per Every of wall time.
+// The wall clock is consulted only once per 4096 calls, keeping the
+// steady-state cost of an enabled progress meter to one counter increment.
+type Progress struct {
+	Fn    func(ProgressStat)
+	Every time.Duration
+
+	calls uint64
+	last  time.Time
+}
+
+func (p *Progress) every() time.Duration {
+	if p.Every <= 0 {
+		return time.Second
+	}
+	return p.Every
+}
+
+// Maybe invokes the callback if enough wall time has passed. stat is only
+// evaluated when the callback actually fires.
+func (p *Progress) Maybe(stat func() ProgressStat) {
+	if p == nil || p.Fn == nil {
+		return
+	}
+	p.calls++
+	if p.calls&4095 != 0 {
+		return
+	}
+	now := time.Now()
+	if p.last.IsZero() {
+		p.last = now
+		return
+	}
+	if now.Sub(p.last) < p.every() {
+		return
+	}
+	p.last = now
+	p.Fn(stat())
+}
+
+// Flush fires the callback unconditionally (end-of-run final report).
+func (p *Progress) Flush(stat ProgressStat) {
+	if p == nil || p.Fn == nil {
+		return
+	}
+	p.Fn(stat)
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Labels attach dimensions to a metric (e.g. {"channel": "0"}). Label sets
+// are copied at registration; callers may reuse the map.
+type Labels map[string]string
+
+// metricKind is the exposition type of a registered metric.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// metric is one registered metric: a name, a label set, and a pointer (or
+// closure) into component-owned state that is read at snapshot time.
+type metric struct {
+	name   string
+	labels Labels
+	kind   metricKind
+
+	counter *stats.Counter
+	gauge   func() float64
+	hist    *stats.Histogram
+}
+
+// Registry holds named metrics registered by simulator components. It is
+// not safe for concurrent use: registration happens at simulation setup
+// and Snapshot must only be called while the simulation is quiescent (the
+// registered pointers are read without synchronization).
+type Registry struct {
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func cloneLabels(l Labels) Labels {
+	if len(l) == 0 {
+		return nil
+	}
+	c := make(Labels, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// Counter registers a monotonic counter. Nil registries and nil counters
+// are ignored.
+func (r *Registry) Counter(name string, labels Labels, c *stats.Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.metrics = append(r.metrics, metric{name: name, labels: cloneLabels(labels), kind: kindCounter, counter: c})
+}
+
+// Gauge registers an instantaneous value computed by fn at snapshot time.
+func (r *Registry) Gauge(name string, labels Labels, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.metrics = append(r.metrics, metric{name: name, labels: cloneLabels(labels), kind: kindGauge, gauge: fn})
+}
+
+// Histogram registers a fixed-bucket histogram.
+func (r *Registry) Histogram(name string, labels Labels, h *stats.Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.metrics = append(r.metrics, metric{name: name, labels: cloneLabels(labels), kind: kindHistogram, hist: h})
+}
+
+// Len returns the number of registered metrics.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.metrics)
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// LE is the inclusive upper bound; "+Inf" for the overflow bucket.
+	LE string `json:"le"`
+	// Count is the cumulative sample count at or below LE.
+	Count uint64 `json:"count"`
+}
+
+// Sample is one metric's value in a snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Type   string            `json:"type"`
+	// Value holds the counter or gauge value (histograms use the fields
+	// below instead).
+	Value float64 `json:"value"`
+	// Count/Sum/Buckets are populated for histograms only.
+	Count   uint64   `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, deterministically ordered dump of every
+// registered metric.
+type Snapshot struct {
+	Samples []Sample `json:"metrics"`
+}
+
+// labelString renders labels in sorted {k="v",...} form (empty string for
+// no labels); used both as a sort key and for Prometheus exposition.
+func labelString(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot reads every registered metric and returns the samples sorted by
+// (name, labels). Two identical simulation runs produce byte-identical
+// snapshots. Call only when the simulation is quiescent.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	for _, m := range r.metrics {
+		s := Sample{Name: m.name, Labels: m.labels, Type: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.counter.Value())
+		case kindGauge:
+			s.Value = m.gauge()
+		case kindHistogram:
+			h := m.hist
+			s.Count = h.Total()
+			s.Sum = h.Mean() * float64(h.Total())
+			bounds := h.Bounds()
+			var cum uint64
+			for i := 0; i < h.NumBuckets(); i++ {
+				cum += h.Bucket(i)
+				le := "+Inf"
+				if i < len(bounds) {
+					le = fmt.Sprintf("%d", bounds[i])
+				}
+				s.Buckets = append(s.Buckets, Bucket{LE: le, Count: cum})
+			}
+		}
+		snap.Samples = append(snap.Samples, s)
+	}
+	sort.SliceStable(snap.Samples, func(i, j int) bool {
+		if snap.Samples[i].Name != snap.Samples[j].Name {
+			return snap.Samples[i].Name < snap.Samples[j].Name
+		}
+		return labelString(snap.Samples[i].Labels) < labelString(snap.Samples[j].Labels)
+	})
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	lastName := ""
+	for _, m := range s.Samples {
+		if m.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+			lastName = m.Name
+		}
+		ls := labelString(m.Labels)
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				bl := promAddLabel(m.Labels, "le", b.LE)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, bl, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+				m.Name, ls, m.Sum, m.Name, ls, m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", m.Name, ls, m.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promAddLabel renders labels plus one extra pair.
+func promAddLabel(l Labels, k, v string) string {
+	merged := make(Labels, len(l)+1)
+	for lk, lv := range l {
+		merged[lk] = lv
+	}
+	merged[k] = v
+	return labelString(merged)
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRegistrySnapshotSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	var c1, c2 stats.Counter
+	c1.Add(3)
+	c2.Add(7)
+	h := stats.NewHistogram(1, 4)
+	h.Observe(0)
+	h.Observe(2)
+	h.Observe(100)
+
+	r.Counter("zeta_total", nil, &c1)
+	r.Counter("alpha_total", Labels{"kind": "b"}, &c2)
+	r.Counter("alpha_total", Labels{"kind": "a"}, &c1)
+	r.Gauge("mid_gauge", nil, func() float64 { return 1.5 })
+	r.Histogram("hist", nil, h)
+
+	snap := r.Snapshot()
+	if len(snap.Samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(snap.Samples))
+	}
+	order := []string{"alpha_total", "alpha_total", "hist", "mid_gauge", "zeta_total"}
+	for i, want := range order {
+		if snap.Samples[i].Name != want {
+			t.Fatalf("sample %d = %s, want %s", i, snap.Samples[i].Name, want)
+		}
+	}
+	if snap.Samples[0].Labels["kind"] != "a" || snap.Samples[1].Labels["kind"] != "b" {
+		t.Fatal("label sets not sorted")
+	}
+	if snap.Samples[0].Value != 3 || snap.Samples[4].Value != 3 || snap.Samples[1].Value != 7 {
+		t.Fatal("counter values wrong")
+	}
+	hs := snap.Samples[2]
+	if hs.Type != "histogram" || hs.Count != 3 {
+		t.Fatalf("histogram sample: %+v", hs)
+	}
+	// Buckets are cumulative: [0,1)=1, [1,4)=2, +Inf=3.
+	wantBuckets := []Bucket{{"1", 1}, {"4", 2}, {"+Inf", 3}}
+	for i, b := range wantBuckets {
+		if hs.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, hs.Buckets[i], b)
+		}
+	}
+}
+
+func TestRegistryGaugeReadAtSnapshotTime(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.Gauge("g", nil, func() float64 { return v })
+	v = 42
+	if got := r.Snapshot().Samples[0].Value; got != 42 {
+		t.Fatalf("gauge = %v, want 42 (snapshot-time read)", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	var c stats.Counter
+	c.Add(9)
+	r.Counter("x_total", Labels{"core": "0"}, &c)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != 1 || back.Samples[0].Value != 9 || back.Samples[0].Labels["core"] != "0" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	var c stats.Counter
+	c.Add(5)
+	h := stats.NewHistogram(2)
+	h.Observe(1)
+	h.Observe(3)
+	r.Counter("ops_total", Labels{"op": "read"}, &c)
+	r.Gauge("rate", nil, func() float64 { return 0.25 })
+	r.Histogram("depth", nil, h)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{op="read"} 5`,
+		"# TYPE rate gauge",
+		"rate 0.25",
+		"# TYPE depth histogram",
+		`depth_bucket{le="2"} 1`,
+		`depth_bucket{le="+Inf"} 2`,
+		"depth_sum 4",
+		"depth_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	var c stats.Counter
+	r.Counter("x", nil, &c)
+	r.Gauge("y", nil, func() float64 { return 0 })
+	r.Histogram("z", nil, stats.NewHistogram(1))
+	if r.Len() != 0 {
+		t.Fatal("nil registry grew")
+	}
+	if snap := r.Snapshot(); len(snap.Samples) != 0 {
+		t.Fatal("nil registry produced samples")
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// seriesProbe is one epoch-sampled column. num and den read *cumulative*
+// values from simulator state; the series differentiates them per epoch
+// and reports scale * Δnum/Δden. A nil den means "CPU cycles elapsed".
+type seriesProbe struct {
+	name  string
+	num   func() float64
+	den   func() float64
+	scale float64
+}
+
+// Row is one sampled epoch.
+type Row struct {
+	Epoch      int      `json:"epoch"`
+	StartCycle uint64   `json:"start_cycle"`
+	EndCycle   uint64   `json:"end_cycle"`
+	Values     []float64 `json:"values"`
+}
+
+// Series collects a per-epoch time-series over simulated CPU cycles: the
+// simulation loop calls Sample every Interval cycles (plus once at the
+// end), and each registered probe contributes one per-epoch rate or ratio
+// column. Like the rest of the package it is single-owner: probes are
+// registered at setup and Sample is called from the simulation loop only.
+type Series struct {
+	interval uint64
+	probes   []seriesProbe
+
+	prevNum, prevDen []float64
+	prevCycle        uint64
+	started          bool
+	rows             []Row
+}
+
+// NewSeries returns a series sampled every intervalCycles CPU cycles.
+func NewSeries(intervalCycles uint64) *Series {
+	if intervalCycles == 0 {
+		intervalCycles = 50_000
+	}
+	return &Series{interval: intervalCycles}
+}
+
+// Interval returns the sampling interval in CPU cycles.
+func (s *Series) Interval() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Rate registers a column reporting scale * Δnum per elapsed CPU cycle.
+func (s *Series) Rate(name string, num func() float64, scale float64) {
+	if s == nil {
+		return
+	}
+	s.probes = append(s.probes, seriesProbe{name: name, num: num, scale: scale})
+}
+
+// Ratio registers a column reporting Δnum/Δden per epoch (0 when the
+// denominator did not advance).
+func (s *Series) Ratio(name string, num, den func() float64) {
+	if s == nil {
+		return
+	}
+	s.probes = append(s.probes, seriesProbe{name: name, num: num, den: den, scale: 1})
+}
+
+// Sample closes the current epoch at the given CPU cycle. The first call
+// only latches baselines; zero-width epochs (repeated cycle) are ignored.
+func (s *Series) Sample(cycle uint64) {
+	if s == nil {
+		return
+	}
+	if !s.started {
+		s.started = true
+		s.prevNum = make([]float64, len(s.probes))
+		s.prevDen = make([]float64, len(s.probes))
+	} else if cycle == s.prevCycle {
+		return
+	} else {
+		row := Row{
+			Epoch:      len(s.rows),
+			StartCycle: s.prevCycle,
+			EndCycle:   cycle,
+			Values:     make([]float64, len(s.probes)),
+		}
+		dc := float64(cycle - s.prevCycle)
+		for i, p := range s.probes {
+			n := p.num()
+			dn := n - s.prevNum[i]
+			dd := dc
+			if p.den != nil {
+				d := p.den()
+				dd = d - s.prevDen[i]
+				s.prevDen[i] = d
+			}
+			if dd != 0 {
+				row.Values[i] = p.scale * dn / dd
+			}
+			s.prevNum[i] = n
+		}
+		s.prevCycle = cycle
+		s.rows = append(s.rows, row)
+		return
+	}
+	// Baseline latch (first call).
+	for i, p := range s.probes {
+		s.prevNum[i] = p.num()
+		if p.den != nil {
+			s.prevDen[i] = p.den()
+		}
+	}
+	s.prevCycle = cycle
+}
+
+// Rows returns the sampled epochs.
+func (s *Series) Rows() []Row {
+	if s == nil {
+		return nil
+	}
+	return s.rows
+}
+
+// Header returns the column names: epoch, start_cycle, end_cycle, then one
+// per probe.
+func (s *Series) Header() []string {
+	h := []string{"epoch", "start_cycle", "end_cycle"}
+	if s == nil {
+		return h
+	}
+	for _, p := range s.probes {
+		h = append(h, p.name)
+	}
+	return h
+}
+
+// WriteCSV writes the series as CSV with a header row. Values use %g so
+// identical runs serialise byte-identically.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(s.Header(), ",")); err != nil {
+		return err
+	}
+	if s == nil {
+		return nil
+	}
+	for _, r := range s.rows {
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(r.Epoch))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(r.StartCycle, 10))
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatUint(r.EndCycle, 10))
+		for _, v := range r.Values {
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(v, 'g', 6, 64))
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the series (header + rows) as indented JSON.
+func (s *Series) WriteJSON(w io.Writer) error {
+	out := struct {
+		IntervalCycles uint64   `json:"interval_cycles"`
+		Columns        []string `json:"columns"`
+		Rows           []Row    `json:"rows"`
+	}{s.Interval(), s.Header(), s.Rows()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

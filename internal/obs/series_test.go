@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeriesRateAndRatioDeltas(t *testing.T) {
+	s := NewSeries(100)
+	var retired, hits, refs float64
+	s.Rate("ipc", func() float64 { return retired }, 1)
+	s.Ratio("hit_rate", func() float64 { return hits }, func() float64 { return refs })
+
+	retired, hits, refs = 50, 5, 10
+	s.Sample(0) // baseline latch only — no row
+	if len(s.Rows()) != 0 {
+		t.Fatal("baseline sample produced a row")
+	}
+
+	retired, hits, refs = 150, 8, 14 // +100 retired over 100 cycles, 3/4 hits
+	s.Sample(100)
+	retired, hits, refs = 150, 8, 14 // nothing advanced
+	s.Sample(300)
+
+	rows := s.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Epoch != 0 || r0.StartCycle != 0 || r0.EndCycle != 100 {
+		t.Fatalf("row 0 bounds: %+v", r0)
+	}
+	if r0.Values[0] != 1.0 {
+		t.Fatalf("ipc = %v, want 1.0", r0.Values[0])
+	}
+	if r0.Values[1] != 0.75 {
+		t.Fatalf("hit_rate = %v, want 0.75", r0.Values[1])
+	}
+	r1 := rows[1]
+	if r1.Values[0] != 0 || r1.Values[1] != 0 {
+		t.Fatalf("idle epoch should be all zero: %+v", r1)
+	}
+}
+
+func TestSeriesZeroWidthEpochSkipped(t *testing.T) {
+	s := NewSeries(10)
+	v := 0.0
+	s.Rate("x", func() float64 { return v }, 1)
+	s.Sample(0)
+	v = 10
+	s.Sample(10)
+	s.Sample(10) // duplicate cycle: the final flush can land on an epoch edge
+	if len(s.Rows()) != 1 {
+		t.Fatalf("rows = %d, want 1", len(s.Rows()))
+	}
+}
+
+func TestSeriesRateScale(t *testing.T) {
+	s := NewSeries(10)
+	bytes := 0.0
+	s.Rate("gbps", func() float64 { return bytes }, 3.2)
+	s.Sample(0)
+	bytes = 640
+	s.Sample(100) // 6.4 bytes/cycle * 3.2
+	if got := s.Rows()[0].Values[0]; got != 20.48 {
+		t.Fatalf("scaled rate = %v, want 20.48", got)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries(10)
+	v := 0.0
+	s.Rate("ipc", func() float64 { return v }, 1)
+	s.Sample(0)
+	v = 5
+	s.Sample(10)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "epoch,start_cycle,end_cycle,ipc" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,0,10,0.5" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestSeriesJSON(t *testing.T) {
+	s := NewSeries(10)
+	s.Rate("ipc", func() float64 { return 0 }, 1)
+	s.Sample(0)
+	s.Sample(10)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		IntervalCycles uint64   `json:"interval_cycles"`
+		Columns        []string `json:"columns"`
+		Rows           []Row    `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.IntervalCycles != 10 || len(out.Columns) != 4 || len(out.Rows) != 1 {
+		t.Fatalf("json round trip: %+v", out)
+	}
+}
+
+func TestNilSeriesSafe(t *testing.T) {
+	var s *Series
+	s.Rate("x", func() float64 { return 0 }, 1)
+	s.Ratio("y", nil, nil)
+	s.Sample(0)
+	s.Sample(100)
+	if s.Interval() != 0 || len(s.Rows()) != 0 {
+		t.Fatal("nil series did something")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "epoch,start_cycle,end_cycle") {
+		t.Fatalf("nil CSV header = %q", buf.String())
+	}
+}

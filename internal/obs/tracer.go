@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Well-known trace process ids: Perfetto groups tracks by process, so the
+// simulator puts all core tracks under one process and all DRAM-channel
+// tracks under another.
+const (
+	PidCores    = 1
+	PidChannels = 2
+)
+
+// TrackID identifies a registered track (a Perfetto thread lane).
+type TrackID int32
+
+// track is one timeline lane in the trace output.
+type track struct {
+	pid  int
+	tid  int
+	name string
+}
+
+// Event is one trace event. TS and Dur are in simulated CPU cycles (the
+// Chrome JSON emits them as microseconds, so one display-µs = one cycle).
+// Name and the arg keys must be static strings — events are stored by
+// value in the ring buffer and serialised lazily.
+type Event struct {
+	TS, Dur uint64
+	Track   TrackID
+	Ph      byte // 'X' (complete slice) or 'i' (instant)
+	Name    string
+	K1, K2  string // arg keys ("" = absent)
+	V1, V2  int64
+}
+
+// Tracer is an opt-in ring-buffered recorder of simulator events. All
+// emit methods are nil-safe and allocation-free, so instrumented hot paths
+// cost one nil check when tracing is disabled. When the ring wraps, the
+// oldest events are overwritten and counted in Dropped.
+type Tracer struct {
+	clock  func() uint64
+	tracks []track
+	tids   map[int]int // next tid per pid
+	procs  map[int]string
+
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewTracer returns a tracer with the given ring capacity (minimum 64).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &Tracer{
+		buf:   make([]Event, capacity),
+		tids:  make(map[int]int),
+		procs: make(map[int]string),
+	}
+}
+
+// SetClock installs the simulated-cycle clock consulted by Now and the
+// instant-emit helpers.
+func (t *Tracer) SetClock(fn func() uint64) {
+	if t == nil {
+		return
+	}
+	t.clock = fn
+}
+
+// Now returns the current simulated cycle (0 without a clock).
+func (t *Tracer) Now() uint64 {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Process names the trace process pid (e.g. "cores").
+func (t *Tracer) Process(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.procs[pid] = name
+}
+
+// NewTrack registers a timeline lane under process pid and returns its id.
+func (t *Tracer) NewTrack(pid int, name string) TrackID {
+	if t == nil {
+		return 0
+	}
+	t.tids[pid]++
+	t.tracks = append(t.tracks, track{pid: pid, tid: t.tids[pid], name: name})
+	return TrackID(len(t.tracks) - 1)
+}
+
+// Emit records one event, overwriting the oldest when the ring is full.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if t.wrapped {
+		t.dropped++
+	}
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Slice records a complete ('X') event spanning [start, start+dur).
+func (t *Tracer) Slice(tr TrackID, name string, start, dur uint64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{TS: start, Dur: dur, Track: tr, Ph: 'X', Name: name})
+}
+
+// SliceArg is Slice with one integer argument.
+func (t *Tracer) SliceArg(tr TrackID, name string, start, dur uint64, k string, v int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{TS: start, Dur: dur, Track: tr, Ph: 'X', Name: name, K1: k, V1: v})
+}
+
+// Instant records an instant event at the current clock.
+func (t *Tracer) Instant(tr TrackID, name string) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{TS: t.Now(), Track: tr, Ph: 'i', Name: name})
+}
+
+// InstantArg is Instant with one integer argument.
+func (t *Tracer) InstantArg(tr TrackID, name, k string, v int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{TS: t.Now(), Track: tr, Ph: 'i', Name: name, K1: k, V1: v})
+}
+
+// InstantArg2 is Instant with two integer arguments.
+func (t *Tracer) InstantArg2(tr TrackID, name, k1 string, v1 int64, k2 string, v2 int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{TS: t.Now(), Track: tr, Ph: 'i', Name: name, K1: k1, V1: v1, K2: k2, V2: v2})
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Dropped returns the number of events lost to ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// events returns buffered events oldest-first.
+func (t *Tracer) events() []Event {
+	if !t.wrapped {
+		return t.buf[:t.next]
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// WriteChromeJSON serialises the buffered events in the Chrome trace-event
+// JSON format: process/thread metadata for every registered track, then
+// the events sorted by timestamp (ties keep emission order), one trace
+// lane per track. Open the file in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; timestamps are simulated CPU cycles displayed as µs.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+	if t != nil {
+		pids := make([]int, 0, len(t.procs))
+		for pid := range t.procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			emit(fmt.Sprintf("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,\"args\":{\"name\":%s}}",
+				pid, strconv.Quote(t.procs[pid])))
+		}
+		for _, tr := range t.tracks {
+			emit(fmt.Sprintf("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}",
+				tr.pid, tr.tid, strconv.Quote(tr.name)))
+		}
+		evs := t.events()
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+		for i := range evs {
+			ev := &evs[i]
+			tr := t.tracks[ev.Track]
+			var line string
+			switch ev.Ph {
+			case 'X':
+				line = fmt.Sprintf("{\"ph\":\"X\",\"name\":%s,\"pid\":%d,\"tid\":%d,\"ts\":%d,\"dur\":%d%s}",
+					strconv.Quote(ev.Name), tr.pid, tr.tid, ev.TS, ev.Dur, argsJSON(ev))
+			default:
+				line = fmt.Sprintf("{\"ph\":\"i\",\"s\":\"t\",\"name\":%s,\"pid\":%d,\"tid\":%d,\"ts\":%d%s}",
+					strconv.Quote(ev.Name), tr.pid, tr.tid, ev.TS, argsJSON(ev))
+			}
+			emit(line)
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// argsJSON renders the event's args object (empty string when argless).
+func argsJSON(ev *Event) string {
+	if ev.K1 == "" {
+		return ""
+	}
+	if ev.K2 == "" {
+		return fmt.Sprintf(",\"args\":{%s:%d}", strconv.Quote(ev.K1), ev.V1)
+	}
+	return fmt.Sprintf(",\"args\":{%s:%d,%s:%d}", strconv.Quote(ev.K1), ev.V1, strconv.Quote(ev.K2), ev.V2)
+}

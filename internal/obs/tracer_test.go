@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeTrace mirrors the serialised Chrome trace-event JSON for tests.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string         `json:"ph"`
+		Name string         `json:"name"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		TS   uint64         `json:"ts"`
+		Dur  uint64         `json:"dur"`
+		S    string         `json:"s"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func decodeTrace(t *testing.T, tr *Tracer) chromeTrace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func TestTracerChromeJSON(t *testing.T) {
+	tr := NewTracer(64)
+	cycle := uint64(0)
+	tr.SetClock(func() uint64 { return cycle })
+	tr.Process(PidCores, "cores")
+	core0 := tr.NewTrack(PidCores, "core 0")
+
+	cycle = 10
+	tr.Instant(core0, "op.write")
+	cycle = 25
+	tr.InstantArg(core0, "tree.walk", "levels", 3)
+	tr.Slice(core0, "op.read", 5, 20) // completion emitted after instants, earlier ts
+
+	out := decodeTrace(t, tr)
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	// process_name + thread_name metadata, then 3 events sorted by ts.
+	if len(out.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(out.TraceEvents))
+	}
+	if out.TraceEvents[0].Ph != "M" || out.TraceEvents[0].Name != "process_name" {
+		t.Fatalf("first event: %+v", out.TraceEvents[0])
+	}
+	if out.TraceEvents[1].Ph != "M" || out.TraceEvents[1].Args["name"] != "core 0" {
+		t.Fatalf("second event: %+v", out.TraceEvents[1])
+	}
+	evs := out.TraceEvents[2:]
+	if evs[0].Ph != "X" || evs[0].TS != 5 || evs[0].Dur != 20 {
+		t.Fatalf("slice not sorted first: %+v", evs[0])
+	}
+	if evs[1].Name != "op.write" || evs[1].S != "t" {
+		t.Fatalf("instant: %+v", evs[1])
+	}
+	if evs[2].Args["levels"] != float64(3) {
+		t.Fatalf("instant arg: %+v", evs[2])
+	}
+	var prev uint64
+	for _, e := range evs {
+		if e.TS < prev {
+			t.Fatalf("non-monotone ts after sort: %+v", evs)
+		}
+		prev = e.TS
+	}
+}
+
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(64)
+	trk := tr.NewTrack(PidCores, "core 0")
+	for i := 0; i < 100; i++ {
+		tr.Slice(trk, "ev", uint64(i), 1)
+	}
+	if tr.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tr.Len())
+	}
+	if tr.Dropped() != 36 {
+		t.Fatalf("Dropped = %d, want 36", tr.Dropped())
+	}
+	evs := tr.events()
+	if evs[0].TS != 36 || evs[len(evs)-1].TS != 99 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", evs[0].TS, evs[len(evs)-1].TS)
+	}
+	out := decodeTrace(t, tr)
+	nonMeta := 0
+	for _, e := range out.TraceEvents {
+		if e.Ph != "M" {
+			nonMeta++
+		}
+	}
+	if nonMeta != 64 {
+		t.Fatalf("serialised events = %d, want 64", nonMeta)
+	}
+}
+
+func TestTracerMinimumCapacity(t *testing.T) {
+	tr := NewTracer(1)
+	trk := tr.NewTrack(PidCores, "t")
+	for i := 0; i < 64; i++ {
+		tr.Slice(trk, "ev", uint64(i), 1)
+	}
+	if tr.Len() != 64 || tr.Dropped() != 0 {
+		t.Fatalf("capacity not clamped to 64: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestNilTracerSafeAndAllocFree(t *testing.T) {
+	var tr *Tracer
+	tr.SetClock(func() uint64 { return 0 })
+	tr.Process(PidCores, "x")
+	if trk := tr.NewTrack(PidCores, "t"); trk != 0 {
+		t.Fatalf("nil track id = %d", trk)
+	}
+	tr.Slice(0, "a", 0, 1)
+	tr.Instant(0, "b")
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Now() != 0 {
+		t.Fatal("nil tracer did something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+
+	// The disabled instrumentation path must be allocation-free.
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Slice(0, "op.read", 0, 10)
+		tr.Instant(0, "op.write")
+		tr.InstantArg(0, "tree.walk", "levels", 2)
+		tr.InstantArg2(0, "ACT", "bank", 1, "row", 2)
+		tr.SliceArg(0, "x", 0, 1, "k", 3)
+		_ = tr.Now()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fullObserver enables every observability feature for a test run.
+func fullObserver(epoch uint64) *obs.Observer {
+	return obs.New(obs.Config{Metrics: true, EpochCycles: epoch, TraceCapacity: 1 << 16})
+}
+
+// TestObsDisabledPathIdenticalCycles checks the acceptance requirement that
+// observation never perturbs the simulation: a run with no Observer, a run
+// with an empty Observer (hooks attached, all features off), and a run with
+// everything enabled must report bit-identical cycles and energy.
+func TestObsDisabledPathIdenticalCycles(t *testing.T) {
+	run := func(ob *obs.Observer) *Result {
+		cfg := quick("itesp", "mcf")
+		cfg.Obs = ob
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := run(nil)
+	empty := run(obs.New(obs.Config{}))
+	full := run(fullObserver(10_000))
+	for name, r := range map[string]*Result{"empty observer": empty, "full observer": full} {
+		if r.Cycles != base.Cycles {
+			t.Errorf("%s changed cycles: %d vs %d", name, r.Cycles, base.Cycles)
+		}
+		if r.MemoryJoules != base.MemoryJoules {
+			t.Errorf("%s changed energy: %v vs %v", name, r.MemoryJoules, base.MemoryJoules)
+		}
+	}
+}
+
+// TestObsSnapshotDeterminism checks that two identical seeded runs produce
+// byte-identical metrics snapshots and time-series output.
+func TestObsSnapshotDeterminism(t *testing.T) {
+	artifacts := func() (metrics, series []byte) {
+		cfg := quick("itesp", "pr")
+		ob := fullObserver(10_000)
+		cfg.Obs = ob
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var m, s bytes.Buffer
+		if err := ob.Registry.Snapshot().WriteJSON(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := ob.Series.WriteCSV(&s); err != nil {
+			t.Fatal(err)
+		}
+		return m.Bytes(), s.Bytes()
+	}
+	m1, s1 := artifacts()
+	m2, s2 := artifacts()
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics snapshots of identical runs differ")
+	}
+	if !bytes.Equal(s1, s2) {
+		t.Error("time-series of identical runs differ")
+	}
+	if len(m1) == 0 || len(s1) == 0 {
+		t.Fatal("empty artifacts")
+	}
+}
+
+// TestObsTimeseriesGolden pins the epoch CSV of a tiny deterministic run.
+// Refresh with: go test ./internal/sim -run TimeseriesGolden -update
+func TestObsTimeseriesGolden(t *testing.T) {
+	cfg := quick("itesp", "mcf")
+	ob := obs.New(obs.Config{EpochCycles: 50_000})
+	cfg.Obs = ob
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ob.Series.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "timeseries_itesp_mcf.csv")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("time-series drifted from golden file %s:\ngot:\n%swant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestObsChromeTraceSchema checks the serialised trace: valid JSON, both
+// core and channel tracks present, and per-track monotone timestamps.
+func TestObsChromeTraceSchema(t *testing.T) {
+	cfg := quick("itesp", "mcf")
+	ob := obs.New(obs.Config{TraceCapacity: 1 << 16})
+	cfg.Obs = ob
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Trace.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var buf bytes.Buffer
+	if err := ob.Trace.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+			TS   uint64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	type key struct{ pid, tid int }
+	lastTS := map[key]uint64{}
+	tracks := map[key]bool{}
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		k := key{e.Pid, e.Tid}
+		tracks[k] = true
+		if e.TS < lastTS[k] {
+			t.Fatalf("track %+v has non-monotone ts: %d after %d (%s)", k, e.TS, lastTS[k], e.Name)
+		}
+		lastTS[k] = e.TS
+	}
+	var coreTracks, chanTracks int
+	for k := range tracks {
+		switch k.pid {
+		case obs.PidCores:
+			coreTracks++
+		case obs.PidChannels:
+			chanTracks++
+		}
+	}
+	if coreTracks != cfg.Cores {
+		t.Errorf("core tracks = %d, want %d", coreTracks, cfg.Cores)
+	}
+	if chanTracks != cfg.Channels {
+		t.Errorf("channel tracks = %d, want %d", chanTracks, cfg.Channels)
+	}
+}
+
+// TestObsRegistryContents spot-checks that the wired-up registry exposes
+// metrics from every instrumented layer.
+func TestObsRegistryContents(t *testing.T) {
+	cfg := quick("itesp", "mcf")
+	ob := obs.New(obs.Config{Metrics: true})
+	cfg.Obs = ob
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ob.Registry.Snapshot()
+	byName := map[string]float64{}
+	for _, s := range snap.Samples {
+		byName[s.Name] += s.Value
+	}
+	for _, name := range []string{
+		"cpu_retired_instructions", // cpu layer
+		"engine_data_ops_total",    // secure-memory engine
+		"engine_meta_txns_total",   // metadata traffic
+		"cache_hits_total",         // metadata caches
+		"dram_commands_total",      // DRAM channel
+		"sim_cpu_cycles",           // simulation loop gauge
+	} {
+		if byName[name] == 0 {
+			t.Errorf("metric %s missing or zero", name)
+		}
+	}
+	if got := byName["engine_data_ops_total"]; got != float64(r.Engine.Stats.DataOps()) {
+		t.Errorf("engine_data_ops_total = %v, want %d", got, r.Engine.Stats.DataOps())
+	}
+	// The loop runs past the last core's finish to drain in-flight DRAM
+	// traffic, so the final loop cycle is at least the reported time.
+	if got := byName["sim_cpu_cycles"]; got < float64(r.Cycles) {
+		t.Errorf("sim_cpu_cycles = %v, want >= %d", got, r.Cycles)
+	}
+}

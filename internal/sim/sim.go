@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/addrmap"
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/llc"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -70,6 +72,13 @@ type Config struct {
 	Scheme *core.Scheme
 	// Sources optionally overrides the per-core trace sources.
 	Sources []trace.Source
+
+	// Obs optionally attaches an observability bundle (metrics registry,
+	// epoch time-series, event tracing, live progress) to the run. Nil
+	// disables everything; the simulated cycle counts are identical either
+	// way because observation is strictly read-only. An Observer must be
+	// fresh per run.
+	Obs *obs.Observer
 }
 
 // Result carries the measurements of one run.
@@ -118,6 +127,115 @@ func (r *Result) MetaCacheHitRate() float64 {
 		return 0
 	}
 	return mc.Stats.HitRate()
+}
+
+// attachObs wires the run's observability bundle through every layer:
+// trace tracks (one per core and one per DRAM channel, with the shared CPU
+// cycle counter as the timebase), metric registration for the engine, the
+// DRAM channels, the cores, and the LLC filters, and the epoch-series
+// probe columns. A nil cfg.Obs leaves every component's hooks nil.
+func attachObs(cfg Config, engine *core.Engine, dmem *dram.Memory, cores []*cpu.Core, filters []*llc.Filter, cpuCycle *uint64) {
+	o := cfg.Obs
+	if o == nil {
+		return
+	}
+	channels := dmem.Config().Geom.Channels
+
+	tr := o.Trace
+	var coreTracks, chanTracks []obs.TrackID
+	if tr != nil {
+		tr.SetClock(func() uint64 { return *cpuCycle })
+		tr.Process(obs.PidCores, "cores")
+		tr.Process(obs.PidChannels, "dram channels")
+		for i := range cores {
+			coreTracks = append(coreTracks, tr.NewTrack(obs.PidCores, "core "+strconv.Itoa(i)))
+		}
+		for c := 0; c < channels; c++ {
+			chanTracks = append(chanTracks, tr.NewTrack(obs.PidChannels, "channel "+strconv.Itoa(c)))
+		}
+	}
+	engine.AttachObs(o.Registry, tr, coreTracks)
+	dmem.AttachObs(o.Registry, tr, chanTracks)
+
+	if reg := o.Registry; reg != nil {
+		for i, c := range cores {
+			c := c
+			l := obs.Labels{"core": strconv.Itoa(i)}
+			reg.Counter("cpu_reads_total", l, &c.Reads)
+			reg.Counter("cpu_writes_total", l, &c.Writes)
+			reg.Counter("cpu_stall_cycles_total", l, &c.StallCycles)
+			reg.Gauge("cpu_retired_instructions", l, func() float64 { return float64(c.Retired()) })
+		}
+		for i, f := range filters {
+			f.Register(reg, obs.Labels{"core": strconv.Itoa(i)})
+		}
+		reg.Gauge("sim_cpu_cycles", nil, func() float64 { return float64(*cpuCycle) })
+	}
+
+	if s := o.Series; s != nil {
+		// The bandwidth columns convert bytes-per-CPU-cycle to GB/s via the
+		// core clock: 3.2 GHz for DDR3-1600 (4:1), 3.6 GHz for DDR4-2400.
+		ghz := 3.2
+		if cfg.DDR4 {
+			ghz = 3.6
+		}
+		retired := func() float64 {
+			var n uint64
+			for _, c := range cores {
+				n += c.Retired()
+			}
+			return float64(n)
+		}
+		st := &engine.Stats
+		ops := func() float64 { return float64(st.DataOps()) }
+		metaTotal := func() float64 {
+			var t uint64
+			for k := 0; k < mem.NumKinds; k++ {
+				if mem.Kind(k) == mem.KindData {
+					continue
+				}
+				t += st.MetaReads[k].Value() + st.MetaWrites[k].Value()
+			}
+			return float64(t)
+		}
+		s.Rate("ipc", retired, 1)
+		s.Ratio("meta_per_op", metaTotal, ops)
+		if mc := engine.MetaCache(); mc != nil {
+			s.Ratio("meta_hit_rate",
+				func() float64 { return float64(mc.Stats.Hits.Value()) },
+				func() float64 { return float64(mc.Stats.Hits.Value() + mc.Stats.Misses.Value()) })
+		}
+		if len(filters) > 0 {
+			s.Ratio("llc_hit_rate",
+				func() float64 {
+					var h uint64
+					for _, f := range filters {
+						hits, _ := f.LookupCounts()
+						h += hits
+					}
+					return float64(h)
+				},
+				func() float64 {
+					var t uint64
+					for _, f := range filters {
+						_, total := f.LookupCounts()
+						t += total
+					}
+					return float64(t)
+				})
+		}
+		s.Ratio("parity_rmw_per_op", func() float64 { return float64(st.ParityRMW.Value()) }, ops)
+		for c := 0; c < channels; c++ {
+			cs := dmem.ChannelStats(c)
+			name := "chan" + strconv.Itoa(c)
+			s.Rate(name+"_gbps", func() float64 {
+				return float64((cs.Reads.Value() + cs.Writes.Value()) * mem.BlockSize)
+			}, ghz)
+			s.Ratio(name+"_row_hit_rate",
+				func() float64 { return float64(cs.RowHits.Value()) },
+				func() float64 { return float64(cs.RowHits.Value() + cs.RowMisses.Value()) })
+		}
+	}
 }
 
 // defaultPolicy picks the best mapping per scheme (Section V-C): the
@@ -211,6 +329,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	cores := make([]*cpu.Core, cfg.Cores)
+	var filters []*llc.Filter
 	for i := range cores {
 		var src trace.Source
 		if cfg.Sources != nil {
@@ -223,11 +342,16 @@ func Run(cfg Config) (*Result, error) {
 			if mb <= 0 {
 				mb = 2
 			}
-			src = llc.NewFilter(src, llc.Config{SizeMB: mb, Ways: 16})
+			f := llc.NewFilter(src, llc.Config{SizeMB: mb, Ways: 16})
+			filters = append(filters, f)
+			src = f
 		}
 		encl.Create(mem.EnclaveID(i))
 		cores[i] = cpu.NewCore(i, cfg.CPU, src, cfg.OpsPerCore+cfg.WarmupOps)
 	}
+
+	var cpuCycle uint64
+	attachObs(cfg, engine, dmem, cores, filters, &cpuCycle)
 
 	tokenOwner := make(map[uint64]int)
 	issue := func(coreID int, rec trace.Record) (uint64, bool, error) {
@@ -241,7 +365,28 @@ func Run(cfg Config) (*Result, error) {
 		return token, accepted, err
 	}
 
-	var cpuCycle uint64
+	// Observability bookkeeping: all nil/zero (and therefore skipped by
+	// one predictable branch per DRAM tick) unless cfg.Obs enables them.
+	var series *obs.Series
+	var prog *obs.Progress
+	var nextEpoch uint64
+	opsTarget := uint64(cfg.Cores) * (cfg.OpsPerCore + cfg.WarmupOps)
+	opsDone := func() uint64 {
+		var n uint64
+		for _, c := range cores {
+			n += c.OpsIssued()
+		}
+		return n
+	}
+	if cfg.Obs != nil {
+		series = cfg.Obs.Series
+		prog = cfg.Obs.Progress
+		if series != nil {
+			series.Sample(0) // latch epoch baselines
+			nextEpoch = series.Interval()
+		}
+	}
+
 	idleTicks := 0
 	for {
 		allDone := true
@@ -274,6 +419,15 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
+		if series != nil && cpuCycle >= nextEpoch {
+			series.Sample(cpuCycle)
+			nextEpoch += series.Interval()
+		}
+		if prog != nil {
+			prog.Maybe(func() obs.ProgressStat {
+				return obs.ProgressStat{CPUCycles: cpuCycle, OpsDone: opsDone(), OpsTarget: opsTarget}
+			})
+		}
 		if progressed {
 			idleTicks = 0
 		} else if allDone {
@@ -288,6 +442,15 @@ func Run(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("sim: deadlock at cycle %d (pending=%d)", cpuCycle, engine.Pending())
 			}
 		}
+	}
+
+	// Close the final (possibly partial) epoch and flush progress so short
+	// runs still produce a non-empty time-series.
+	if series != nil {
+		series.Sample(cpuCycle)
+	}
+	if prog != nil {
+		prog.Flush(obs.ProgressStat{CPUCycles: cpuCycle, OpsDone: opsDone(), OpsTarget: opsTarget})
 	}
 
 	res := &Result{

@@ -2,6 +2,15 @@
 // by the simulator and the experiment harnesses. All types have useful zero
 // values and are not safe for concurrent use; each simulated component owns
 // its own stats.
+//
+// The observability layer (internal/obs) builds on this contract instead of
+// adding locks: a metrics registry holds *pointers* into component-owned
+// stats and only reads them from the goroutine driving the simulation —
+// either between simulation steps (epoch sampling) or after sim.Run has
+// returned (final snapshots). Parallel experiment sweeps give every
+// simulation its own engine, DRAM model, and registry, so no stats instance
+// is ever shared across goroutines. See stats_race_test.go for the
+// intended one-owner-per-component usage exercised under -race.
 package stats
 
 import (
@@ -138,6 +147,10 @@ func (h *Histogram) Min() uint64 {
 
 // Max returns the largest observed sample.
 func (h *Histogram) Max() uint64 { return h.max }
+
+// Bounds returns the ascending bucket upper bounds (excluding the final
+// unbounded overflow bucket). The slice is owned by the histogram.
+func (h *Histogram) Bounds() []uint64 { return h.bounds }
 
 // Bucket returns the count in bucket i (0 <= i <= len(bounds)).
 func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
