@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -39,7 +40,18 @@ func main() {
 	traceCap := flag.Int("trace-cap", 0, "per-run event ring capacity for -trace-events (0 = default 1M)")
 	progress := flag.Bool("progress", false, "print per-simulation sweep progress to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the sweep runs")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; identical runs are served from <dir>/<hash>.json instead of re-simulated")
+	noCache := flag.Bool("no-cache", false, "disable the result cache even if -cache-dir or -resume is set")
+	resume := flag.Bool("resume", false, "resume an interrupted sweep: enable the cache (default .runcache) so only missing runs re-simulate")
+	keepGoing := flag.Bool("keep-going", false, "run every job of a batch even after failures instead of canceling the queued remainder")
 	flag.Parse()
+
+	if *resume && *cacheDir == "" {
+		*cacheDir = ".runcache"
+	}
+	if *noCache {
+		*cacheDir = ""
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -51,10 +63,14 @@ func main() {
 
 	jsonOut := map[string]any{}
 
+	var runnerStats runner.Stats
 	o := experiments.Options{
-		OpsPerCore: *ops,
-		Seed:       *seed,
-		Parallel:   *parallel,
+		OpsPerCore:  *ops,
+		Seed:        *seed,
+		Parallel:    *parallel,
+		CacheDir:    *cacheDir,
+		KeepGoing:   *keepGoing,
+		RunnerStats: &runnerStats,
 		Obs: experiments.ObsOptions{
 			MetricsDir:    *metricsDir,
 			TimeseriesDir: *timeseriesDir,
@@ -64,8 +80,12 @@ func main() {
 		},
 	}
 	if *progress {
-		o.Obs.OnRunDone = func(done, total int, key string) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s\n", done, total, key)
+		o.Obs.OnRunDone = func(done, total int, key string, cached bool) {
+			tag := ""
+			if cached {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", done, total, key, tag)
 		}
 	}
 	if *bench != "" {
@@ -166,6 +186,9 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if runnerStats.Jobs > 0 {
+		fmt.Fprintf(os.Stderr, "[runner: %s]\n", runnerStats)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

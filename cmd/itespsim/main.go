@@ -6,6 +6,12 @@
 //
 //	itespsim -scheme itesp -bench mcf -cores 4 -channels 1 -ops 100000
 //
+// Declarative runs (see DESIGN.md "Run orchestration"): -spec loads a
+// runspec JSON instead of the knob flags, and -result-json writes the
+// run's spec, content hash, and summary as a runner cache entry:
+//
+//	itespsim -spec run.json -result-json out.json
+//
 // Observability (see README "Observability"):
 //
 //	itespsim -scheme itesp -bench mcf -metrics m.json -timeseries ts.csv \
@@ -13,8 +19,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -24,9 +32,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/runspec"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -49,6 +58,8 @@ func main() {
 	traceCap := flag.Int("trace-cap", 1<<20, "event ring-buffer capacity for -trace-events (oldest dropped)")
 	progress := flag.Bool("progress", false, "print live simulation progress to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	specPath := flag.String("spec", "", "load the run spec from this JSON file instead of the knob flags (\"-\" reads stdin)")
+	resultJSON := flag.String("result-json", "", "write the run's spec, content hash, and summary (a runner cache entry) to this file")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -59,17 +70,50 @@ func main() {
 		}()
 	}
 
-	spec, err := workload.ByName(*bench)
+	var sp runspec.Spec
+	if *specPath != "" {
+		if err := loadSpec(*specPath, &sp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		sp = runspec.Spec{
+			Scheme:        *scheme,
+			Benchmark:     *bench,
+			Cores:         *cores,
+			Channels:      *channels,
+			Policy:        *policy,
+			OpsPerCore:    *ops,
+			Seed:          *seed,
+			MetaKBPerCore: *metaKB,
+			StrictVerify:  *strict,
+			DDR4:          *ddr4,
+			FilterLLC:     *llcFilter,
+		}
+	}
+	hash, err := sp.Hash()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	cfg, err := sp.SimConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := cfg.Benchmark
 
 	var sources []trace.Source
 	if *traceFiles != "" {
+		// Trace-driven input lives outside the spec, so such a run has no
+		// honest content address.
+		if *specPath != "" || *resultJSON != "" {
+			fmt.Fprintln(os.Stderr, "-trace cannot be combined with -spec or -result-json: trace-driven runs are not content-addressable")
+			os.Exit(1)
+		}
 		paths := strings.Split(*traceFiles, ",")
-		if len(paths) != *cores {
-			fmt.Fprintf(os.Stderr, "need %d trace files, got %d\n", *cores, len(paths))
+		if len(paths) != cfg.Cores {
+			fmt.Fprintf(os.Stderr, "need %d trace files, got %d\n", cfg.Cores, len(paths))
 			os.Exit(1)
 		}
 		for _, p := range paths {
@@ -104,21 +148,9 @@ func main() {
 		ob = obs.New(obCfg)
 	}
 
-	r, err := sim.Run(sim.Config{
-		SchemeName:    *scheme,
-		Benchmark:     spec,
-		Cores:         *cores,
-		Channels:      *channels,
-		PolicyName:    *policy,
-		OpsPerCore:    *ops,
-		Seed:          *seed,
-		MetaKBPerCore: *metaKB,
-		StrictVerify:  *strict,
-		DDR4:          *ddr4,
-		FilterLLC:     *llcFilter,
-		Sources:       sources,
-		Obs:           ob,
-	})
+	cfg.Sources = sources
+	cfg.Obs = ob
+	r, err := sim.Run(cfg)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
@@ -130,7 +162,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *resultJSON != "" {
+		entry := runner.Entry{
+			Version: runner.EntryVersion,
+			Hash:    hash,
+			Spec:    sp.Normalized(),
+			Summary: r.Summarize(),
+		}
+		data, err := json.MarshalIndent(entry, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*resultJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "result-json:", err)
+			os.Exit(1)
+		}
+	}
 
+	if sources == nil {
+		fmt.Printf("spec hash:          %s\n", hash)
+	}
 	fmt.Printf("scheme:             %s (policy %s)\n", r.Scheme.Name, r.Config.PolicyName)
 	fmt.Printf("benchmark:          %s (%s, %d MB WS, %.1f MPKI)\n", spec.Name, spec.Pattern, spec.WorkingSetMB, spec.MPKI)
 	fmt.Printf("execution time:     %d CPU cycles\n", r.Cycles)
@@ -157,6 +208,27 @@ func main() {
 	if ob != nil && ob.Trace != nil && ob.Trace.Dropped() > 0 {
 		fmt.Fprintf(os.Stderr, "trace: ring wrapped, %d oldest events dropped (raise -trace-cap)\n", ob.Trace.Dropped())
 	}
+}
+
+// loadSpec reads a runspec JSON from path ("-" for stdin), rejecting
+// unknown fields so a typo'd knob fails loudly instead of silently running
+// the defaults.
+func loadSpec(path string, sp *runspec.Spec) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(sp); err != nil {
+		return fmt.Errorf("spec %s: %w", path, err)
+	}
+	return nil
 }
 
 // writeArtifacts dumps the enabled observability outputs to their files,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runspec"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -25,21 +26,30 @@ func ablationBenches(o Options) []workload.Spec {
 	return o.benchList(nil)
 }
 
-// geoNorm runs cfgs against a non-secure baseline per benchmark and returns
-// the geomean normalized time.
-func geoNorm(o Options, specs []workload.Spec, mk func(spec workload.Spec) sim.Config) (float64, []*sim.Result, error) {
-	var vals []float64
-	var results []*sim.Result
+// geoNorm runs mk's configuration against a non-secure baseline per
+// benchmark (one runner batch, so the cache and worker pool apply) and
+// returns the geomean normalized time plus the per-benchmark summaries in
+// spec order.
+func geoNorm(o Options, specs []workload.Spec, mk func(spec workload.Spec) runspec.Spec) (float64, []*sim.Summary, error) {
+	var jobs []job
 	for _, spec := range specs {
-		base, err := sim.Run(sim.Config{SchemeName: "nonsecure", Benchmark: spec,
-			Cores: 4, Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()})
-		if err != nil {
-			return 0, nil, err
-		}
-		cfg := mk(spec)
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return 0, nil, err
+		jobs = append(jobs, job{key: "nonsecure/" + spec.Name, spec: runspec.Spec{
+			Scheme: "nonsecure", Benchmark: spec.Name, Cores: 4, Channels: 1,
+			OpsPerCore: o.ops(), Seed: o.seed(),
+		}})
+		jobs = append(jobs, job{key: "cfg/" + spec.Name, spec: mk(spec)})
+	}
+	raw, err := runBatch(o, jobs)
+	if err != nil {
+		return 0, nil, err
+	}
+	var vals []float64
+	var results []*sim.Summary
+	for _, spec := range specs {
+		base := raw["nonsecure/"+spec.Name]
+		r := raw["cfg/"+spec.Name]
+		if base == nil || r == nil {
+			continue
 		}
 		vals = append(vals, float64(r.Cycles)/float64(base.Cycles))
 		results = append(results, r)
@@ -58,7 +68,7 @@ func AblationParityShare(o Options) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, n := range []int{1, 4, 8, 16} {
 		n := n
-		g, _, err := geoNorm(o, specs, func(spec workload.Spec) sim.Config {
+		g, _, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
 			scheme, err := core.SchemeByName("sharedparity+pc", 4)
 			if err != nil {
 				panic(err)
@@ -68,8 +78,8 @@ func AblationParityShare(o Options) ([]AblationRow, error) {
 				// Degenerates to the per-block parity cache design.
 				scheme.Parity = core.ParityPerBlock
 			}
-			return sim.Config{Scheme: &scheme, Benchmark: spec, Cores: 4,
-				Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
+			return runspec.Spec{SchemeOverride: &scheme, Benchmark: spec.Name,
+				Cores: 4, Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
 		})
 		if err != nil {
 			return nil, err
@@ -95,8 +105,8 @@ func AblationITESPLeaf(o Options) ([]AblationRow, error) {
 		{"itesp4p", "32x4b ctr + 4 parities"},
 	} {
 		cfg := cfg
-		g, rs, err := geoNorm(o, specs, func(spec workload.Spec) sim.Config {
-			return sim.Config{SchemeName: cfg.scheme, Benchmark: spec, Cores: 4,
+		g, rs, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
+			return runspec.Spec{Scheme: cfg.scheme, Benchmark: spec.Name, Cores: 4,
 				Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
 		})
 		if err != nil {
@@ -104,7 +114,7 @@ func AblationITESPLeaf(o Options) ([]AblationRow, error) {
 		}
 		var rh []float64
 		for _, r := range rs {
-			rh = append(rh, r.RowHitRate())
+			rh = append(rh, r.RowHitRate)
 		}
 		row := AblationRow{Label: cfg.label, NormTime: g, Extra: stats.ArithMean(rh)}
 		rows = append(rows, row)
@@ -125,8 +135,8 @@ func AblationStrictVerify(o Options) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, strict := range []bool{false, true} {
 		strict := strict
-		g, _, err := geoNorm(o, specs, func(spec workload.Spec) sim.Config {
-			return sim.Config{SchemeName: "itesp", Benchmark: spec, Cores: 4,
+		g, _, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
+			return runspec.Spec{Scheme: "itesp", Benchmark: spec.Name, Cores: 4,
 				Channels: 1, OpsPerCore: o.ops(), Seed: o.seed(), StrictVerify: strict}
 		})
 		if err != nil {
@@ -162,7 +172,7 @@ func AblationIsolationParts(o Options) ([]AblationRow, error) {
 		{"isolated tree + part. $", "itsynergy", nil},
 	} {
 		cfg := cfg
-		g, _, err := geoNorm(o, specs, func(spec workload.Spec) sim.Config {
+		g, _, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
 			scheme, err := core.SchemeByName(cfg.scheme, 4)
 			if err != nil {
 				panic(err)
@@ -170,8 +180,8 @@ func AblationIsolationParts(o Options) ([]AblationRow, error) {
 			if cfg.override != nil {
 				cfg.override(&scheme)
 			}
-			return sim.Config{Scheme: &scheme, Benchmark: spec, Cores: 4,
-				Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
+			return runspec.Spec{SchemeOverride: &scheme, Benchmark: spec.Name,
+				Cores: 4, Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
 		})
 		if err != nil {
 			return nil, err

@@ -6,16 +6,16 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/runspec"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -38,6 +38,17 @@ type Options struct {
 	Parallel int
 	// W receives the printed table (default os.Stdout).
 	W io.Writer
+	// CacheDir, when non-empty, enables the content-addressed result
+	// cache: completed runs are stored under <CacheDir>/<spec-hash>.json
+	// and identical specs are served from disk instead of re-simulated,
+	// which also makes interrupted sweeps resumable.
+	CacheDir string
+	// KeepGoing runs every job of a batch even after failures instead of
+	// canceling the queued remainder on the first one.
+	KeepGoing bool
+	// RunnerStats, when non-nil, accumulates the runner's simulated /
+	// cache-hit / failure counters across every batch of the experiment.
+	RunnerStats *runner.Stats
 	// Obs configures per-simulation observability artifacts and sweep
 	// progress reporting.
 	Obs ObsOptions
@@ -59,10 +70,10 @@ type ObsOptions struct {
 	// cycles); TraceCap is the per-run event ring capacity (default 1M).
 	EpochCycles uint64
 	TraceCap    int
-	// OnRunDone, when non-nil, is called after each simulation finishes
-	// with the completed count, the total, and the run's key. Calls are
-	// serialized.
-	OnRunDone func(done, total int, key string)
+	// OnRunDone, when non-nil, is called after each job finishes with the
+	// completed count, the total, the run's key, and whether the result
+	// came from the cache. Calls are serialized.
+	OnRunDone func(done, total int, key string, cached bool)
 }
 
 func (ob ObsOptions) artifactsEnabled() bool {
@@ -151,17 +162,6 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
-func (o Options) parallel() int {
-	if o.Parallel > 0 {
-		return o.Parallel
-	}
-	p := runtime.NumCPU() - 1
-	if p < 1 {
-		p = 1
-	}
-	return p
-}
-
 func (o Options) benchList(defaults []string) []workload.Spec {
 	names := o.Benchmarks
 	if names == nil {
@@ -189,49 +189,43 @@ func allBenchmarks() []string {
 
 // job is one simulation in a batch.
 type job struct {
-	key string
-	cfg sim.Config
+	key  string
+	spec runspec.Spec
 }
 
-// runBatch executes jobs in parallel and returns results keyed by job key.
-// When o.Obs enables artifacts, each job runs with its own observer and
-// writes its files before the job is counted done.
-func runBatch(o Options, jobs []job) (map[string]*sim.Result, error) {
-	results := make(map[string]*sim.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	done := 0
-	sem := make(chan struct{}, o.parallel())
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			ob := o.Obs.observer()
-			j.cfg.Obs = ob
-			r, err := sim.Run(j.cfg)
-			if err == nil {
-				err = o.Obs.writeArtifacts(j.key, ob)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			done++
-			if o.Obs.OnRunDone != nil {
-				o.Obs.OnRunDone(done, len(jobs), j.key)
-			}
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s: %w", j.key, err)
-				}
-				return
-			}
-			results[j.key] = r
-		}(j)
+// runBatch executes jobs through the runner: a bounded worker pool with
+// cache-aware scheduling (Options.CacheDir) and aggregated errors. When
+// o.Obs enables artifacts, each simulated job runs with its own observer
+// and writes its files before the job is counted done; cache hits skip the
+// simulation and therefore produce no new artifacts.
+func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
+	ropts := runner.Options{
+		Parallel:  o.Parallel,
+		KeepGoing: o.KeepGoing,
 	}
-	wg.Wait()
-	return results, firstErr
+	if o.CacheDir != "" {
+		ropts.Cache = runner.NewCache(o.CacheDir)
+	}
+	if o.Obs.artifactsEnabled() {
+		ropts.Observer = func(runner.Job) *obs.Observer { return o.Obs.observer() }
+		ropts.AfterSim = func(j runner.Job, ob *obs.Observer, _ *sim.Result) error {
+			return o.Obs.writeArtifacts(j.Key, ob)
+		}
+	}
+	if o.Obs.OnRunDone != nil {
+		ropts.OnJobDone = func(done, total int, j runner.Job, cached bool, _ error) {
+			o.Obs.OnRunDone(done, total, j.Key, cached)
+		}
+	}
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		rjobs[i] = runner.Job{Key: j.key, Spec: j.spec}
+	}
+	results, st, err := runner.Run(context.Background(), ropts, rjobs)
+	if o.RunnerStats != nil {
+		o.RunnerStats.Add(st)
+	}
+	return results, err
 }
 
 // geoMeanOver computes the geometric mean of metric over the given

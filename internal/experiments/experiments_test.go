@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/runner"
+	"repro/internal/runspec"
 	"repro/internal/workload"
 )
 
@@ -212,6 +214,94 @@ func TestBenchListUnknownPanics(t *testing.T) {
 func TestAllBenchmarksComplete(t *testing.T) {
 	if len(allBenchmarks()) != len(workload.Specs()) {
 		t.Fatal("allBenchmarks out of sync with workload.Specs")
+	}
+}
+
+func TestWarmCacheByteIdenticalOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	dir := t.TempDir()
+	run := func() (string, runner.Stats) {
+		var buf bytes.Buffer
+		var st runner.Stats
+		o := tiny(t)
+		o.Benchmarks = []string{"pr"}
+		o.W = &buf
+		o.CacheDir = dir
+		o.RunnerStats = &st
+		if _, err := Fig2(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), st
+	}
+	cold, coldStats := run()
+	if coldStats.Simulated == 0 || coldStats.CacheHits != 0 {
+		t.Fatalf("cold sweep: %s", coldStats)
+	}
+	warm, warmStats := run()
+	if warmStats.Simulated != 0 || warmStats.CacheHits != coldStats.Simulated {
+		t.Fatalf("warm sweep should be 100%% cache hits: %s", warmStats)
+	}
+	if cold != warm {
+		t.Errorf("warm-cache output differs:\ncold:\n%s\nwarm:\n%s", cold, warm)
+	}
+}
+
+func TestInterruptedSweepResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Uninterrupted reference sweep.
+	ref := tiny(t)
+	ref.Benchmarks = []string{"pr"}
+	var refBuf bytes.Buffer
+	ref.W = &refBuf
+	ref.CacheDir = t.TempDir()
+	if _, err := Fig2(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Interrupted" sweep: only part of the job matrix (the 1-core small
+	// model) completed before the crash; the resumed full sweep re-runs
+	// only the missing configurations and matches the reference output.
+	dir := t.TempDir()
+	partial := tiny(t)
+	partial.Benchmarks = []string{"pr"}
+	partial.W = io.Discard
+	partial.CacheDir = dir
+	var partialStats runner.Stats
+	partial.RunnerStats = &partialStats
+	// Seed the cache with a strict subset: the exact spec Fig2 uses for
+	// its 1-core "small" model of pr.
+	small := runspec.Spec{
+		Scheme: "vault", Benchmark: "pr", Cores: 1, Channels: 1,
+		OpsPerCore: partial.ops(), Seed: partial.seed(), DenseAlloc: true,
+	}
+	if _, err := runBatch(partial, []job{{key: "seed", spec: small}}); err != nil {
+		t.Fatal(err)
+	}
+	done := partialStats.Simulated
+
+	resumed := tiny(t)
+	resumed.Benchmarks = []string{"pr"}
+	var resumedBuf bytes.Buffer
+	resumed.W = &resumedBuf
+	resumed.CacheDir = dir
+	var resumedStats runner.Stats
+	resumed.RunnerStats = &resumedStats
+	if _, err := Fig2(resumed); err != nil {
+		t.Fatal(err)
+	}
+	if resumedStats.CacheHits != done {
+		t.Fatalf("resume should reuse the %d completed runs: %s", done, resumedStats)
+	}
+	if resumedStats.Simulated != resumedStats.Jobs-done {
+		t.Fatalf("resume should simulate only missing hashes: %s", resumedStats)
+	}
+	if refBuf.String() != resumedBuf.String() {
+		t.Errorf("resumed output differs from uninterrupted sweep:\nref:\n%s\nresumed:\n%s",
+			refBuf.String(), resumedBuf.String())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/covert"
 	"repro/internal/mem"
+	"repro/internal/runspec"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -28,8 +29,8 @@ type SchemeResult struct {
 // Fig8Result holds normalized execution times per scheme.
 type Fig8Result struct {
 	Schemes map[string]*SchemeResult
-	// Raw holds the full sim results keyed "scheme/bench" for reuse.
-	Raw map[string]*sim.Result
+	// Raw holds the per-run summaries keyed "scheme/bench" for reuse.
+	Raw map[string]*sim.Summary
 }
 
 // Improvement returns the top-15 performance improvement of scheme a over
@@ -55,8 +56,8 @@ func runNormalized(o Options, schemes []string, benchDefaults []string, cores, c
 		for _, s := range all {
 			jobs = append(jobs, job{
 				key: s + "/" + spec.Name,
-				cfg: sim.Config{
-					SchemeName: s, Benchmark: spec, Cores: cores, Channels: channels,
+				spec: runspec.Spec{
+					Scheme: s, Benchmark: spec.Name, Cores: cores, Channels: channels,
 					OpsPerCore: o.ops(), Seed: o.seed(),
 				},
 			})
@@ -172,11 +173,10 @@ func Fig9(o Options) ([]Fig9Row, error) {
 			if res == nil {
 				continue
 			}
-			st := &res.Engine.Stats
-			mr, mw := st.KindPerOp(mem.KindMAC)
-			cr, cw := st.KindPerOp(mem.KindCounter)
-			tr, tw := st.KindPerOp(mem.KindTree)
-			pr, pw := st.KindPerOp(mem.KindParity)
+			mr, mw := res.KindPerOp(mem.KindMAC)
+			cr, cw := res.KindPerOp(mem.KindCounter)
+			tr, tw := res.KindPerOp(mem.KindTree)
+			pr, pw := res.KindPerOp(mem.KindParity)
 			row.MACReads += mr
 			row.MACWrites += mw
 			row.CtrReads += cr
@@ -341,8 +341,8 @@ func Fig13(o Options) ([]Fig13Row, error) {
 			for _, s := range []string{"nonsecure", "synergy", "itesp"} {
 				jobs = append(jobs, job{
 					key: s + "/" + spec.Name,
-					cfg: sim.Config{
-						SchemeName: s, Benchmark: spec, Cores: 4, Channels: 1,
+					spec: runspec.Spec{
+						Scheme: s, Benchmark: spec.Name, Cores: 4, Channels: 1,
 						OpsPerCore: o.ops(), Seed: o.seed(), MetaKBPerCore: kb,
 					},
 				})
@@ -391,14 +391,14 @@ func Fig15(o Options) ([]Fig15Row, error) {
 	specs := o.benchList(workload.TopMemoryIntensive())
 	var jobs []job
 	for _, spec := range specs {
-		jobs = append(jobs, job{key: "synergy/" + spec.Name, cfg: sim.Config{
-			SchemeName: "synergy", Benchmark: spec, Cores: 4, Channels: 1,
-			OpsPerCore: o.ops(), Seed: o.seed(), PolicyName: "column",
+		jobs = append(jobs, job{key: "synergy/" + spec.Name, spec: runspec.Spec{
+			Scheme: "synergy", Benchmark: spec.Name, Cores: 4, Channels: 1,
+			OpsPerCore: o.ops(), Seed: o.seed(), Policy: "column",
 		}})
 		for _, pol := range []string{"column", "rank", "rbh2", "rbh4"} {
-			jobs = append(jobs, job{key: pol + "/" + spec.Name, cfg: sim.Config{
-				SchemeName: "itesp4p", Benchmark: spec, Cores: 4, Channels: 1,
-				OpsPerCore: o.ops(), Seed: o.seed(), PolicyName: pol,
+			jobs = append(jobs, job{key: pol + "/" + spec.Name, spec: runspec.Spec{
+				Scheme: "itesp4p", Benchmark: spec.Name, Cores: 4, Channels: 1,
+				OpsPerCore: o.ops(), Seed: o.seed(), Policy: pol,
 			}})
 		}
 	}
@@ -419,8 +419,8 @@ func Fig15(o Options) ([]Fig15Row, error) {
 				continue
 			}
 			perf = append(perf, float64(syn.Cycles)/float64(cur.Cycles))
-			miss = append(miss, 1-cur.MetaCacheHitRate())
-			rbh = append(rbh, cur.RowHitRate())
+			miss = append(miss, 1-cur.MetaCacheHitRate)
+			rbh = append(rbh, cur.RowHitRate)
 		}
 		row := Fig15Row{Policy: pol,
 			ImprovementPct: 100 * (stats.GeoMean(perf) - 1),

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/internal/runspec"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -27,12 +27,12 @@ func Fig2(o Options) ([]Fig2Row, error) {
 	specs := o.benchList(workload.TopMemoryIntensive())
 	var jobs []job
 	for _, spec := range specs {
-		jobs = append(jobs, job{key: "large/" + spec.Name, cfg: sim.Config{
-			SchemeName: "vault", Benchmark: spec, Cores: 4, Channels: 1,
+		jobs = append(jobs, job{key: "large/" + spec.Name, spec: runspec.Spec{
+			Scheme: "vault", Benchmark: spec.Name, Cores: 4, Channels: 1,
 			OpsPerCore: o.ops(), Seed: o.seed(),
 		}})
-		jobs = append(jobs, job{key: "small/" + spec.Name, cfg: sim.Config{
-			SchemeName: "vault", Benchmark: spec, Cores: 1, Channels: 1,
+		jobs = append(jobs, job{key: "small/" + spec.Name, spec: runspec.Spec{
+			Scheme: "vault", Benchmark: spec.Name, Cores: 1, Channels: 1,
 			OpsPerCore: o.ops(), Seed: o.seed(), DenseAlloc: true,
 		}})
 	}
@@ -53,9 +53,9 @@ func Fig2(o Options) ([]Fig2Row, error) {
 		}
 		row := Fig2Row{
 			Benchmark:    spec.Name,
-			UseLarge:     lg.Engine.MetaCache().MeanUseIncludingResident(),
-			UseSmall:     sm.Engine.MetaCache().MeanUseIncludingResident(),
-			HitRateLarge: lg.MetaCacheHitRate(),
+			UseLarge:     lg.MetaMeanUse,
+			UseSmall:     sm.MetaMeanUse,
+			HitRateLarge: lg.MetaCacheHitRate,
 		}
 		rows = append(rows, row)
 		if row.UseLarge > 0 {
@@ -83,12 +83,12 @@ func Fig3(o Options) ([]Fig3Row, error) {
 	specs := o.benchList(workload.TopMemoryIntensive())
 	var jobs []job
 	for _, spec := range specs {
-		jobs = append(jobs, job{key: "large/" + spec.Name, cfg: sim.Config{
-			SchemeName: "vault", Benchmark: spec, Cores: 4, Channels: 1,
+		jobs = append(jobs, job{key: "large/" + spec.Name, spec: runspec.Spec{
+			Scheme: "vault", Benchmark: spec.Name, Cores: 4, Channels: 1,
 			OpsPerCore: o.ops(), Seed: o.seed(),
 		}})
-		jobs = append(jobs, job{key: "small/" + spec.Name, cfg: sim.Config{
-			SchemeName: "vault", Benchmark: spec, Cores: 1, Channels: 1,
+		jobs = append(jobs, job{key: "small/" + spec.Name, spec: runspec.Spec{
+			Scheme: "vault", Benchmark: spec.Name, Cores: 1, Channels: 1,
 			OpsPerCore: o.ops(), Seed: o.seed(), DenseAlloc: true,
 		}})
 	}
@@ -112,7 +112,9 @@ func Fig3(o Options) ([]Fig3Row, error) {
 			if res == nil {
 				continue
 			}
-			row := Fig3Row{Benchmark: spec.Name, Model: model, Frac: res.Engine.Stats.PatternFrac()}
+			var frac [core.NumPatternCases]float64
+			copy(frac[:], res.PatternFrac)
+			row := Fig3Row{Benchmark: spec.Name, Model: model, Frac: frac}
 			rows = append(rows, row)
 			fmt.Fprintf(w, "%-12s %-6s", spec.Name, model)
 			for c := 0; c < core.NumPatternCases; c++ {

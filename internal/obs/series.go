@@ -20,9 +20,9 @@ type seriesProbe struct {
 
 // Row is one sampled epoch.
 type Row struct {
-	Epoch      int      `json:"epoch"`
-	StartCycle uint64   `json:"start_cycle"`
-	EndCycle   uint64   `json:"end_cycle"`
+	Epoch      int       `json:"epoch"`
+	StartCycle uint64    `json:"start_cycle"`
+	EndCycle   uint64    `json:"end_cycle"`
 	Values     []float64 `json:"values"`
 }
 

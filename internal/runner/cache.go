@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/runspec"
+	"repro/internal/sim"
+)
+
+// EntryVersion guards the cache schema: entries written with a different
+// summary layout are treated as misses, so extending sim.Summary can never
+// silently feed stale zero-valued fields into a figure.
+const EntryVersion = 1
+
+// Entry is one on-disk cache record: the summary of a completed run plus
+// the exact spec that produced it, stored under <dir>/<hash>.json. Keeping
+// the spec alongside the result makes every cache file a self-describing,
+// re-runnable artifact (and lets Load verify the address).
+type Entry struct {
+	Version int          `json:"version"`
+	Hash    string       `json:"hash"`
+	Spec    runspec.Spec `json:"spec"`
+	Summary *sim.Summary `json:"summary"`
+}
+
+// Cache is a content-addressed store of run summaries keyed by
+// runspec.Spec.Hash. It is safe for concurrent use: distinct hashes touch
+// distinct files, and writes of the same hash are atomic (temp + rename),
+// so racing writers of identical content are harmless.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (lazily creating on first store) a cache rooted at dir.
+func NewCache(dir string) *Cache { return &Cache{dir: dir} }
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Path returns the file that stores the given hash.
+func (c *Cache) Path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// Load returns the cached summary for hash, or ok=false on a miss. A
+// corrupted, schema-mismatched, or mis-addressed entry (its embedded spec
+// no longer hashes to its file name, e.g. after a hashing or simulator
+// change) counts as a miss so it gets re-simulated and overwritten.
+func (c *Cache) Load(hash string) (*sim.Summary, bool) {
+	data, err := os.ReadFile(c.Path(hash))
+	if err != nil {
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != EntryVersion || e.Hash != hash || e.Summary == nil {
+		return nil, false
+	}
+	if h, err := e.Spec.Hash(); err != nil || h != hash {
+		return nil, false
+	}
+	return e.Summary, true
+}
+
+// Store writes the entry for hash atomically.
+func (c *Cache) Store(hash string, spec runspec.Spec, sum *sim.Summary) error {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("runner: cache: %w", err)
+	}
+	data, err := json.MarshalIndent(Entry{
+		Version: EntryVersion, Hash: hash, Spec: spec, Summary: sum,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("runner: cache: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.Path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: cache: %w", err)
+	}
+	return nil
+}

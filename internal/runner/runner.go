@@ -1,0 +1,212 @@
+// Package runner schedules batches of declarative run specs over a bounded
+// worker pool, with a content-addressed result cache and aggregated error
+// reporting. Sweeps built on it are resumable for free: every completed job
+// leaves a cache entry under its spec hash, so re-invoking an interrupted
+// sweep re-simulates only the missing hashes.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/runspec"
+	"repro/internal/sim"
+)
+
+// Job is one named simulation in a batch. Key is the caller's display /
+// result-map key (e.g. "itesp/mcf"); the cache is addressed by the spec's
+// content hash, never by Key.
+type Job struct {
+	Key  string
+	Spec runspec.Spec
+}
+
+// Stats counts what a Run actually did — the observable difference between
+// a cold and a warm sweep.
+type Stats struct {
+	// Jobs is the number of jobs submitted.
+	Jobs int
+	// Simulated jobs ran the simulator; CacheHits were served from disk.
+	Simulated int
+	CacheHits int
+	// Failures is the number of jobs that errored; Canceled is the number
+	// skipped after a failure canceled the batch.
+	Failures int
+	Canceled int
+}
+
+// Add accumulates other into s (for sweeps composed of several batches).
+func (s *Stats) Add(other Stats) {
+	s.Jobs += other.Jobs
+	s.Simulated += other.Simulated
+	s.CacheHits += other.CacheHits
+	s.Failures += other.Failures
+	s.Canceled += other.Canceled
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d jobs: %d simulated, %d cache hits, %d failed, %d canceled",
+		s.Jobs, s.Simulated, s.CacheHits, s.Failures, s.Canceled)
+}
+
+// Options configure a batch run.
+type Options struct {
+	// Parallel bounds concurrent simulations (default: NumCPU-1, min 1).
+	Parallel int
+	// Cache, when non-nil, serves hits and stores results by spec hash.
+	Cache *Cache
+	// KeepGoing runs every job even after failures; by default the first
+	// failure cancels the queued remainder (in-flight simulations finish).
+	KeepGoing bool
+	// Observer, when non-nil, builds a fresh per-job observability bundle
+	// for jobs that actually simulate (cache hits produce no artifacts);
+	// AfterSim then runs post-simulation with the same observer, e.g. to
+	// write artifact files. AfterSim errors fail the job.
+	Observer func(j Job) *obs.Observer
+	AfterSim func(j Job, ob *obs.Observer, res *sim.Result) error
+	// OnJobDone, when non-nil, is called after each job (including cache
+	// hits and failures) with the completed count and total. Calls are
+	// serialized.
+	OnJobDone func(done, total int, j Job, cached bool, err error)
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	p := runtime.NumCPU() - 1
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Run executes jobs and returns summaries keyed by Job.Key, plus the batch
+// stats. Every failure is reported: the returned error errors.Join-s one
+// error per failed job (prefixed with its key), and jobs skipped by
+// cancellation are counted so missing results are always accounted for —
+// a key absent from the map is named in the error, never silently dropped.
+func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary, Stats, error) {
+	stats := Stats{Jobs: len(jobs)}
+	results := make(map[string]*sim.Summary, len(jobs))
+	if len(jobs) == 0 {
+		return results, stats, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		sum    *sim.Summary
+		cached bool
+		err    error
+	}
+	outcomes := make([]outcome, len(jobs))
+
+	// The pool owns a fixed set of workers pulling job indices from a
+	// channel: acquiring a worker happens before any per-job work, so a
+	// multi-thousand-job sweep never materializes one goroutine per job.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes done counting and OnJobDone
+	done := 0
+	report := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if opts.OnJobDone != nil {
+			opts.OnJobDone(done, len(jobs), jobs[i], outcomes[i].cached, outcomes[i].err)
+		}
+	}
+	workers := opts.parallel()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					outcomes[i] = outcome{err: ctx.Err()}
+					report(i)
+					continue
+				}
+				sum, cached, err := runJob(opts, jobs[i])
+				outcomes[i] = outcome{sum: sum, cached: cached, err: err}
+				if err != nil && !opts.KeepGoing {
+					cancel()
+				}
+				report(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	var errs []error
+	for i, out := range outcomes {
+		switch {
+		case out.err == nil:
+			results[jobs[i].Key] = out.sum
+			if out.cached {
+				stats.CacheHits++
+			} else {
+				stats.Simulated++
+			}
+		case errors.Is(out.err, context.Canceled):
+			stats.Canceled++
+		default:
+			stats.Failures++
+			errs = append(errs, fmt.Errorf("%s: %w", jobs[i].Key, out.err))
+		}
+	}
+	if stats.Canceled > 0 {
+		errs = append(errs, fmt.Errorf("runner: %d jobs canceled after the first failure (completed results are cached; rerun to resume)", stats.Canceled))
+	}
+	return results, stats, errors.Join(errs...)
+}
+
+// runJob resolves one job: cache hit → load, miss → simulate → store.
+func runJob(opts Options, j Job) (*sim.Summary, bool, error) {
+	hash, err := j.Spec.Hash()
+	if err != nil {
+		return nil, false, err
+	}
+	if opts.Cache != nil {
+		if sum, ok := opts.Cache.Load(hash); ok {
+			return sum, true, nil
+		}
+	}
+	cfg, err := j.Spec.SimConfig()
+	if err != nil {
+		return nil, false, err
+	}
+	var ob *obs.Observer
+	if opts.Observer != nil {
+		ob = opts.Observer(j)
+	}
+	cfg.Obs = ob
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if opts.AfterSim != nil {
+		if err := opts.AfterSim(j, ob, res); err != nil {
+			return nil, false, err
+		}
+	}
+	sum := res.Summarize()
+	if opts.Cache != nil {
+		if err := opts.Cache.Store(hash, j.Spec.Normalized(), sum); err != nil {
+			return nil, false, err
+		}
+	}
+	return sum, false, nil
+}

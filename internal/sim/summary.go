@@ -1,0 +1,85 @@
+package sim
+
+import "repro/internal/mem"
+
+// KindTraffic is one metadata structure's traffic per data operation.
+type KindTraffic struct {
+	ReadsPerOp  float64 `json:"reads_per_op"`
+	WritesPerOp float64 `json:"writes_per_op"`
+}
+
+// Summary distills a Result into plain serializable numbers: every derived
+// metric the experiment harnesses and figure generators consume, with no
+// pointers into live engine or DRAM state. It is the payload the run cache
+// stores on disk, so a cached run can feed any figure without re-simulating.
+type Summary struct {
+	// Scheme and Policy record the resolved configuration (after scheme
+	// lookup and default-policy selection).
+	Scheme string `json:"scheme"`
+	Policy string `json:"policy"`
+	// Cycles is execution time in CPU cycles, including the overflow
+	// penalty; PerCoreCycles is each core's finish time.
+	Cycles        uint64   `json:"cycles"`
+	PerCoreCycles []uint64 `json:"per_core_cycles"`
+	// MemoryJoules / SystemEDP are the Fig 10 energy metrics.
+	MemoryJoules float64 `json:"memory_joules"`
+	SystemEDP    float64 `json:"system_edp"`
+	// Overflows counts local-counter re-encryptions.
+	Overflows uint64 `json:"overflows"`
+	// DataOps is the total number of data operations measured.
+	DataOps uint64 `json:"data_ops"`
+	// MetaPerOp is metadata accesses per data operation (Fig 9 metric).
+	MetaPerOp float64 `json:"meta_per_op"`
+	// RowHitRate is the all-channel row-buffer hit rate.
+	RowHitRate float64 `json:"row_hit_rate"`
+	// MetaCacheHitRate / MetaMeanUse describe the metadata cache (zero
+	// when the scheme has none); MetaMeanUse is hits per block while
+	// resident (the Fig 2 utilization metric).
+	MetaCacheHitRate float64 `json:"meta_cache_hit_rate"`
+	MetaMeanUse      float64 `json:"meta_mean_use"`
+	// Kinds breaks metadata traffic down per structure, keyed by
+	// mem.Kind.String() (mac, counter, tree, parity).
+	Kinds map[string]KindTraffic `json:"kinds"`
+	// PatternFrac is the fraction of data operations in each Figure 3
+	// case, indexed by core.PatternCase order.
+	PatternFrac []float64 `json:"pattern_frac"`
+}
+
+// KindPerOp mirrors core.Stats.KindPerOp for summaries.
+func (s *Summary) KindPerOp(k mem.Kind) (reads, writes float64) {
+	t := s.Kinds[k.String()]
+	return t.ReadsPerOp, t.WritesPerOp
+}
+
+// Summarize extracts the serializable digest of a completed run.
+func (r *Result) Summarize() *Summary {
+	s := &Summary{
+		Scheme:           r.Scheme.Name,
+		Policy:           r.Config.PolicyName,
+		Cycles:           r.Cycles,
+		PerCoreCycles:    append([]uint64(nil), r.PerCoreCycles...),
+		MemoryJoules:     r.MemoryJoules,
+		SystemEDP:        r.SystemEDP,
+		Overflows:        r.Overflows,
+		DataOps:          r.Engine.Stats.DataOps(),
+		MetaPerOp:        r.MetaPerOp(),
+		RowHitRate:       r.RowHitRate(),
+		MetaCacheHitRate: r.MetaCacheHitRate(),
+		Kinds:            map[string]KindTraffic{},
+	}
+	if mc := r.Engine.MetaCache(); mc != nil {
+		s.MetaMeanUse = mc.MeanUseIncludingResident()
+	}
+	for k := 0; k < mem.NumKinds; k++ {
+		kind := mem.Kind(k)
+		if kind == mem.KindData {
+			continue
+		}
+		rd, wr := r.Engine.Stats.KindPerOp(kind)
+		s.Kinds[kind.String()] = KindTraffic{ReadsPerOp: rd, WritesPerOp: wr}
+	}
+	for _, f := range r.Engine.Stats.PatternFrac() {
+		s.PatternFrac = append(s.PatternFrac, f)
+	}
+	return s
+}

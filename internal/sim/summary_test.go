@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+func TestSummarizeMatchesResult(t *testing.T) {
+	bench, err := workload.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(Config{SchemeName: "vault", Benchmark: bench, Cores: 1, OpsPerCore: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summarize()
+	if s.Scheme != "vault" || s.Policy != r.Config.PolicyName {
+		t.Errorf("identity fields: %+v", s)
+	}
+	if s.Cycles != r.Cycles || s.Overflows != r.Overflows {
+		t.Error("cycle counts must match")
+	}
+	if s.MetaPerOp != r.MetaPerOp() || s.RowHitRate != r.RowHitRate() || s.MetaCacheHitRate != r.MetaCacheHitRate() {
+		t.Error("derived rates must match the Result methods")
+	}
+	if s.MetaMeanUse != r.Engine.MetaCache().MeanUseIncludingResident() {
+		t.Error("MetaMeanUse must match")
+	}
+	if s.DataOps != r.Engine.Stats.DataOps() {
+		t.Error("DataOps must match")
+	}
+	for k := 1; k < mem.NumKinds; k++ {
+		kind := mem.Kind(k)
+		wantR, wantW := r.Engine.Stats.KindPerOp(kind)
+		gotR, gotW := s.KindPerOp(kind)
+		if gotR != wantR || gotW != wantW {
+			t.Errorf("%s traffic: got %v/%v want %v/%v", kind, gotR, gotW, wantR, wantW)
+		}
+	}
+	if len(s.PatternFrac) != core.NumPatternCases {
+		t.Fatalf("pattern cases = %d, want %d", len(s.PatternFrac), core.NumPatternCases)
+	}
+	var sum float64
+	for _, f := range s.PatternFrac {
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("pattern fractions sum to %.3f", sum)
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	bench, err := workload.ByName("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(Config{SchemeName: "itesp", Benchmark: bench, Cores: 1, OpsPerCore: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summarize()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("summary JSON round trip changed values:\n  in  %+v\n  out %+v", *s, back)
+	}
+}
