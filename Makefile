@@ -1,6 +1,6 @@
 # See README "Install"; `make check` is the pre-commit gate.
 
-.PHONY: check build test race bench
+.PHONY: check build test race bench bench-smoke
 
 check:
 	./scripts/check.sh
@@ -14,5 +14,10 @@ test:
 race:
 	go test -race ./internal/stats/... ./internal/obs/...
 
+# Hot-loop benchmark suite; writes BENCH_hotloop.json (baseline + current).
 bench:
-	go test -bench=. -benchmem
+	./scripts/bench.sh
+
+# One-iteration smoke run of the same suite (CI, non-gating).
+bench-smoke:
+	./scripts/bench.sh smoke

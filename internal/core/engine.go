@@ -58,9 +58,26 @@ type Engine struct {
 	macBase    mem.PhysAddr
 	parityBase mem.PhysAddr
 
+	// spill is a ring buffer of transactions awaiting DRAM queue space;
+	// its capacity is a power of two and entries live in issue order at
+	// [spillHead, spillHead+spillLen).
 	spill     []*dram.Txn
+	spillHead int
+	spillLen  int
+
 	nextToken uint64
-	tokens    map[*dram.Txn]*accessGroup
+
+	// groups is a slab of access groups addressed by the GroupID tag on
+	// each transaction (slot i holds GroupID i+1; 0 means untagged).
+	// Completed slots are recycled through freeGroups, so the steady-state
+	// access path allocates nothing.
+	groups     []accessGroup
+	freeGroups []uint32
+
+	// txnPool recycles completed transactions; doneBuf is the reusable
+	// completion buffer handed to dram.Memory.Tick.
+	txnPool []*dram.Txn
+	doneBuf []*dram.Txn
 
 	scratch []mem.PhysAddr
 
@@ -84,6 +101,18 @@ type accessGroup struct {
 	issueTS uint64
 }
 
+// tokenCoreBits is the width of the owning-core field packed into the low
+// bits of every read token. Tokens are engine-issued, so encoding the owner
+// is free and lets the simulation loop route completions back to cores
+// without a token-to-owner map.
+const tokenCoreBits = 8
+
+// MaxCores is the largest core count the token encoding supports.
+const MaxCores = 1 << tokenCoreBits
+
+// TokenCore returns the core that issued the read identified by token.
+func TokenCore(token uint64) int { return int(token & (MaxCores - 1)) }
+
 // counterSim abstracts the counter-value simulation used for overflow
 // accounting: the rebase-only CounterStore or the bit-exact MorphableStore.
 type counterSim interface {
@@ -101,13 +130,15 @@ func New(cfg Config, dmem *dram.Memory, encl *enclave.System) (*Engine, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("core: need at least one core")
 	}
+	if cfg.Cores > MaxCores {
+		return nil, fmt.Errorf("core: %d cores exceed the token encoding limit %d", cfg.Cores, MaxCores)
+	}
 	e := &Engine{
 		cfg:    cfg,
 		mem:    dmem,
 		encl:   encl,
 		geom:   cfg.Policy.Geometry(),
 		scheme: cfg.Scheme,
-		tokens: make(map[*dram.Txn]*accessGroup),
 	}
 	if !cfg.Scheme.Secure {
 		return e, nil
@@ -244,7 +275,7 @@ func (e *Engine) AttachObs(reg *obs.Registry, tr *obs.Tracer, coreTracks []obs.T
 		e.parC.Register(reg, obs.Labels{"cache": "parity"})
 	}
 	reg.Gauge("engine_counter_overflows", nil, func() float64 { return float64(e.Overflows()) })
-	reg.Gauge("engine_spill_occupancy", nil, func() float64 { return float64(len(e.spill)) })
+	reg.Gauge("engine_spill_occupancy", nil, func() float64 { return float64(e.spillLen) })
 }
 
 // Scheme returns the engine's scheme.
@@ -277,10 +308,10 @@ func (e *Engine) OverflowPenaltyCycles() uint64 {
 }
 
 // Backpressured reports whether Access would currently be rejected.
-func (e *Engine) Backpressured() bool { return len(e.spill) >= e.cfg.SpillLimit }
+func (e *Engine) Backpressured() bool { return e.spillLen >= e.cfg.SpillLimit }
 
 // Pending reports in-flight work (spill + DRAM queues).
-func (e *Engine) Pending() int { return len(e.spill) + e.mem.Pending() }
+func (e *Engine) Pending() int { return e.spillLen + e.mem.Pending() }
 
 // Access presents one LLC-level data operation from a core. For reads it
 // returns a non-zero token delivered by Tick when the read completes.
@@ -297,30 +328,31 @@ func (e *Engine) Access(core int, rec trace.Record) (token uint64, accepted bool
 	}
 	isWrite := rec.Type == mem.Write
 
-	var group *accessGroup
+	var gid uint32
 	if !isWrite {
 		e.nextToken++
-		group = &accessGroup{token: e.nextToken, remaining: 1, core: core}
+		token = e.nextToken<<tokenCoreBits | uint64(core)
+		gid = e.allocGroup(token, core)
 	}
 	if e.tr != nil {
-		if group != nil {
-			group.issueTS = e.tr.Now()
+		if gid != 0 {
+			e.groups[gid-1].issueTS = e.tr.Now()
 		} else {
 			e.tr.Instant(e.trTracks[core], "op.write")
 		}
 	}
-	e.pushData(pa, rec.Type, id, core, group)
+	e.pushData(pa, rec.Type, id, core, gid)
 
 	if e.scheme.Secure {
 		treeIdx, local := e.treeLocal(core, pte, pa)
 		macMissed := false
 		if !e.scheme.MACInECC {
-			macMissed = e.handleMAC(core, pa, isWrite, id, group)
+			macMissed = e.handleMAC(core, pa, isWrite, id, gid)
 			if macMissed && e.tr != nil {
 				e.tr.Instant(e.trTracks[core], "mac.fetch")
 			}
 		}
-		depth := e.handleTree(treeIdx, local, isWrite, id, core, group)
+		depth := e.handleTree(treeIdx, local, isWrite, id, core, gid)
 		if depth > 0 && e.tr != nil {
 			e.tr.InstantArg(e.trTracks[core], "tree.walk", "levels", int64(depth))
 		}
@@ -342,10 +374,21 @@ func (e *Engine) Access(core int, rec trace.Record) (token uint64, accepted bool
 		}
 	}
 
-	if group != nil {
-		return group.token, true, nil
+	return token, true, nil
+}
+
+// allocGroup takes a free slab slot (or grows the slab) and returns its
+// 1-based GroupID.
+func (e *Engine) allocGroup(token uint64, core int) uint32 {
+	g := accessGroup{token: token, remaining: 1, core: core}
+	if n := len(e.freeGroups); n > 0 {
+		gid := e.freeGroups[n-1]
+		e.freeGroups = e.freeGroups[:n-1]
+		e.groups[gid-1] = g
+		return gid
 	}
-	return 0, true, nil
+	e.groups = append(e.groups, g)
+	return uint32(len(e.groups))
 }
 
 // treeLocal returns the tree index and tree-local block index for a data
@@ -359,7 +402,7 @@ func (e *Engine) treeLocal(core int, pte enclave.PTE, pa mem.PhysAddr) (int, uin
 }
 
 // handleMAC performs the separate-MAC-region access of the VAULT baseline.
-func (e *Engine) handleMAC(core int, pa mem.PhysAddr, isWrite bool, id mem.EnclaveID, group *accessGroup) (missed bool) {
+func (e *Engine) handleMAC(core int, pa mem.PhysAddr, isWrite bool, id mem.EnclaveID, gid uint32) (missed bool) {
 	part := 0
 	if e.scheme.Isolated {
 		part = core
@@ -370,7 +413,7 @@ func (e *Engine) handleMAC(core int, pa mem.PhysAddr, isWrite bool, id mem.Encla
 	}
 	// Fetch on read; write-allocate with fetch on write (the 8-byte MAC
 	// update needs the rest of the 64-byte line).
-	e.pushRead(addr, mem.KindMAC, id, core, group)
+	e.pushRead(addr, mem.KindMAC, id, core, gid)
 	if ev := e.macC.Insert(uint64(addr), part, isWrite); ev.Occurred && ev.Line.Dirty {
 		e.pushWrite(mem.PhysAddr(ev.Line.Addr), mem.KindMAC, id, core)
 	}
@@ -380,7 +423,7 @@ func (e *Engine) handleMAC(core int, pa mem.PhysAddr, isWrite bool, id mem.Encla
 // handleTree walks the integrity tree from the leaf covering local upward
 // until a metadata-cache hit, fetching missing nodes. It returns the number
 // of levels fetched (0 = leaf hit).
-func (e *Engine) handleTree(treeIdx int, local uint64, dirtyLeaf bool, id mem.EnclaveID, core int, group *accessGroup) int {
+func (e *Engine) handleTree(treeIdx int, local uint64, dirtyLeaf bool, id mem.EnclaveID, core int, gid uint32) int {
 	if e.meta == nil {
 		return 0
 	}
@@ -400,7 +443,7 @@ func (e *Engine) handleTree(treeIdx int, local uint64, dirtyLeaf bool, id mem.En
 		if lvl == 0 {
 			kind = mem.KindCounter
 		}
-		e.pushRead(addr, kind, id, core, group)
+		e.pushRead(addr, kind, id, core, gid)
 		if ev := e.meta.InsertAux(uint64(addr), part, markDirty, uint64(lvl)); ev.Occurred && ev.Line.Dirty {
 			evKind := mem.KindTree
 			if ev.Line.Aux == 0 {
@@ -424,7 +467,7 @@ func (e *Engine) handleParity(treeIdx int, local uint64, pa mem.PhysAddr, id mem
 		if !e.scheme.ParityCached || e.parC == nil {
 			if shared {
 				// RAID-5 read-modify-write on every data write.
-				e.pushRead(addr, mem.KindParity, id, core, nil)
+				e.pushRead(addr, mem.KindParity, id, core, 0)
 				e.Stats.ParityRMW.Inc()
 				if e.tr != nil {
 					e.tr.Instant(e.trTracks[core], "parity.rmw")
@@ -441,7 +484,7 @@ func (e *Engine) handleParity(treeIdx int, local uint64, pa mem.PhysAddr, id mem
 			if shared {
 				// The evicted entry holds only a parity *diff*: read the
 				// old parity, apply, write back (Section III-C).
-				e.pushRead(mem.PhysAddr(ev.Line.Addr), mem.KindParity, id, core, nil)
+				e.pushRead(mem.PhysAddr(ev.Line.Addr), mem.KindParity, id, core, 0)
 				e.Stats.ParityRMW.Inc()
 				if e.tr != nil {
 					e.tr.Instant(e.trTracks[core], "parity.rmw")
@@ -464,37 +507,49 @@ func (e *Engine) handleParity(treeIdx int, local uint64, pa mem.PhysAddr, id mem
 			return
 		}
 		e.Stats.ParitySplitLeaf.Inc()
-		e.handleTree(treeIdx, parityLeaf*uint64(geom.LeafArity), true, id, core, nil)
+		e.handleTree(treeIdx, parityLeaf*uint64(geom.LeafArity), true, id, core, 0)
 	}
 }
 
-// pushData enqueues the data transaction itself.
-func (e *Engine) pushData(pa mem.PhysAddr, t mem.AccessType, id mem.EnclaveID, core int, group *accessGroup) {
-	txn := &dram.Txn{
-		Op:  mem.Op{Addr: pa, Type: t, Kind: mem.KindData, Enclave: id, Core: core},
-		Loc: e.cfg.Policy.Map(pa.Block()),
+// newTxn takes a transaction from the recycle pool or allocates one. The
+// caller overwrites every field, so no clearing is needed here.
+func (e *Engine) newTxn() *dram.Txn {
+	if n := len(e.txnPool); n > 0 {
+		t := e.txnPool[n-1]
+		e.txnPool = e.txnPool[:n-1]
+		return t
 	}
-	if group != nil {
-		e.tokens[txn] = group
+	return new(dram.Txn)
+}
+
+// pushData enqueues the data transaction itself.
+func (e *Engine) pushData(pa mem.PhysAddr, t mem.AccessType, id mem.EnclaveID, core int, gid uint32) {
+	txn := e.newTxn()
+	*txn = dram.Txn{
+		Op:      mem.Op{Addr: pa, Type: t, Kind: mem.KindData, Enclave: id, Core: core},
+		Loc:     e.cfg.Policy.Map(pa.Block()),
+		GroupID: gid,
 	}
 	e.push(txn)
 }
 
-func (e *Engine) pushRead(addr mem.PhysAddr, kind mem.Kind, id mem.EnclaveID, core int, group *accessGroup) {
-	txn := &dram.Txn{
+func (e *Engine) pushRead(addr mem.PhysAddr, kind mem.Kind, id mem.EnclaveID, core int, gid uint32) {
+	txn := e.newTxn()
+	*txn = dram.Txn{
 		Op:  mem.Op{Addr: addr, Type: mem.Read, Kind: kind, Enclave: id, Core: core},
 		Loc: e.cfg.Policy.Map(addr.Block()),
 	}
-	if group != nil && e.cfg.StrictVerify {
-		group.remaining++
-		e.tokens[txn] = group
+	if gid != 0 && e.cfg.StrictVerify {
+		e.groups[gid-1].remaining++
+		txn.GroupID = gid
 	}
 	e.Stats.MetaReads[kind].Inc()
 	e.push(txn)
 }
 
 func (e *Engine) pushWrite(addr mem.PhysAddr, kind mem.Kind, id mem.EnclaveID, core int) {
-	txn := &dram.Txn{
+	txn := e.newTxn()
+	*txn = dram.Txn{
 		Op:  mem.Op{Addr: addr, Type: mem.Write, Kind: kind, Enclave: id, Core: core},
 		Loc: e.cfg.Policy.Map(addr.Block()),
 	}
@@ -505,37 +560,63 @@ func (e *Engine) pushWrite(addr mem.PhysAddr, kind mem.Kind, id mem.EnclaveID, c
 // push enqueues directly when possible, spilling otherwise to preserve
 // issue order.
 func (e *Engine) push(txn *dram.Txn) {
-	if len(e.spill) == 0 && e.mem.Enqueue(txn) {
+	if e.spillLen == 0 && e.mem.Enqueue(txn) {
 		return
 	}
-	e.spill = append(e.spill, txn)
+	if e.spillLen == len(e.spill) {
+		e.growSpill()
+	}
+	e.spill[(e.spillHead+e.spillLen)&(len(e.spill)-1)] = txn
+	e.spillLen++
+}
+
+// growSpill doubles the spill ring, re-linearizing entries at index 0.
+func (e *Engine) growSpill() {
+	size := 2 * len(e.spill)
+	if size == 0 {
+		size = 16
+	}
+	next := make([]*dram.Txn, size)
+	for i := 0; i < e.spillLen; i++ {
+		next[i] = e.spill[(e.spillHead+i)&(len(e.spill)-1)]
+	}
+	e.spill = next
+	e.spillHead = 0
 }
 
 // Tick advances the memory system one DRAM cycle: it drains the spill
-// buffer, ticks DRAM, and returns the tokens of data reads that completed.
-func (e *Engine) Tick() []uint64 {
-	for len(e.spill) > 0 {
-		if !e.mem.Enqueue(e.spill[0]) {
+// buffer, ticks DRAM, and appends the tokens of data reads that completed
+// to buf (which may be nil), returning the extended slice. The second
+// result reports whether anything happened this cycle — a spill entry
+// drained, a DRAM command issued, or a transaction completed — so callers
+// can detect fully idle ticks and fast-forward past them.
+func (e *Engine) Tick(buf []uint64) (tokens []uint64, active bool) {
+	for e.spillLen > 0 {
+		if !e.mem.Enqueue(e.spill[e.spillHead]) {
 			break
 		}
-		copy(e.spill, e.spill[1:])
-		e.spill = e.spill[:len(e.spill)-1]
+		e.spill[e.spillHead] = nil
+		e.spillHead = (e.spillHead + 1) & (len(e.spill) - 1)
+		e.spillLen--
+		active = true
 	}
-	var tokens []uint64
-	for _, txn := range e.mem.Tick() {
-		group, ok := e.tokens[txn]
-		if !ok {
-			continue
-		}
-		delete(e.tokens, txn)
-		group.remaining--
-		if group.remaining == 0 {
-			tokens = append(tokens, group.token)
-			if e.tr != nil {
-				now := e.tr.Now()
-				e.tr.Slice(e.trTracks[group.core], "op.read", group.issueTS, now-group.issueTS)
+	done, memActive := e.mem.Tick(e.doneBuf[:0])
+	e.doneBuf = done[:0]
+	tokens = buf
+	for _, txn := range done {
+		if gid := txn.GroupID; gid != 0 {
+			g := &e.groups[gid-1]
+			g.remaining--
+			if g.remaining == 0 {
+				tokens = append(tokens, g.token)
+				if e.tr != nil {
+					now := e.tr.Now()
+					e.tr.Slice(e.trTracks[g.core], "op.read", g.issueTS, now-g.issueTS)
+				}
+				e.freeGroups = append(e.freeGroups, gid)
 			}
 		}
+		e.txnPool = append(e.txnPool, txn)
 	}
-	return tokens
+	return tokens, active || memActive
 }

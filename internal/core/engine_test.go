@@ -53,7 +53,7 @@ func (r *rig) access(t *testing.T, core int, typ mem.AccessType, vaddr mem.VirtA
 		if ok {
 			return tok
 		}
-		r.eng.Tick() // drain backpressure
+		r.eng.Tick(nil) // drain backpressure
 	}
 	t.Fatal("access never accepted")
 	return 0
@@ -63,7 +63,8 @@ func (r *rig) access(t *testing.T, core int, typ mem.AccessType, vaddr mem.VirtA
 func (r *rig) drain(t *testing.T, token uint64, budget int) {
 	t.Helper()
 	for i := 0; i < budget; i++ {
-		for _, tok := range r.eng.Tick() {
+		toks, _ := r.eng.Tick(nil)
+		for _, tok := range toks {
 			if tok == token {
 				return
 			}
@@ -288,7 +289,7 @@ func TestBackpressure(t *testing.T) {
 	}
 	// Draining restores acceptance.
 	for i := 0; i < 100_000 && r.eng.Backpressured(); i++ {
-		r.eng.Tick()
+		r.eng.Tick(nil)
 	}
 	if r.eng.Backpressured() {
 		t.Fatal("backpressure did not clear after draining")
@@ -312,7 +313,8 @@ func TestStrictVerifyDelaysCompletion(t *testing.T) {
 			t.Fatalf("access failed: %v %v", ok, err)
 		}
 		for i := uint64(1); i < 100_000; i++ {
-			for _, tk := range eng.Tick() {
+			tks, _ := eng.Tick(nil)
+			for _, tk := range tks {
 				if tk == tok {
 					return i, eng
 				}
@@ -480,7 +482,7 @@ func TestMetaReadInvariant(t *testing.T) {
 		r.access(t, 0, typ, mem.VirtAddr(i*4096))
 	}
 	for i := 0; i < 200_000 && r.eng.Pending() > 0; i++ {
-		r.eng.Tick()
+		r.eng.Tick(nil)
 	}
 	if r.eng.Pending() != 0 {
 		t.Fatal("engine did not drain")

@@ -43,18 +43,27 @@ type Core struct {
 	pendingIdx uint64
 	havePend   bool
 
-	// Outstanding reads, in issue order. Because reads issue with
-	// monotonically increasing instruction indices, the oldest incomplete
-	// entry bounds retirement; completed entries are marked and popped
-	// lazily, giving O(1) per-cycle bookkeeping.
-	flights  []*flight
-	byToken  map[uint64]*flight
+	// Outstanding reads, in issue order, in a value ring at
+	// [fHead, fHead+fLen) mod len(flights). Reads issue with monotonically
+	// increasing instruction indices, so the oldest incomplete entry bounds
+	// retirement; completed entries are marked and popped lazily. The ring
+	// is bounded by the ROB window (an unretired read keeps every younger
+	// op inside the window), so OnComplete's linear scan is O(ROBSize) worst
+	// case and O(outstanding) typical — and allocation-free, unlike the
+	// token map it replaces.
+	flights  []flight
+	fHead    int
+	fLen     int
 	nFlights int // incomplete count
 
 	opsIssued uint64
 	opsTarget uint64
-	exhausted bool   // trace source ran dry before the target
-	lastIdx   uint64 // instruction index just past the last issued op
+	exhausted bool // trace source ran dry before the target
+	// blocked marks a core provably unable to issue or retire until one of
+	// its outstanding reads completes; Cycle takes a constant-time stall
+	// path while it is set. OnComplete clears it.
+	blocked bool
+	lastIdx uint64 // instruction index just past the last issued op
 
 	done        bool
 	finishCycle uint64
@@ -75,14 +84,14 @@ func NewCore(id int, cfg Config, src trace.Source, opsTarget uint64) *Core {
 		cfg:       cfg,
 		src:       src,
 		opsTarget: opsTarget,
-		byToken:   make(map[uint64]*flight),
 	}
 }
 
 // flight is one outstanding read.
 type flight struct {
-	idx  uint64
-	done bool
+	idx   uint64
+	token uint64
+	done  bool
 }
 
 // Done reports whether the core has issued and completed all operations.
@@ -95,28 +104,75 @@ func (c *Core) FinishCycle() uint64 { return c.finishCycle }
 // Retired returns instructions retired so far.
 func (c *Core) Retired() uint64 { return c.retired }
 
+// Blocked reports whether the core is provably unable to make progress
+// until a completion arrives: the head of the ROB is an outstanding read
+// and the issue side cannot move either. While it holds, Cycle would only
+// charge a stall cycle; callers that know no completion can arrive (the
+// simulation loop between token deliveries) may use StallTick instead.
+func (c *Core) Blocked() bool { return c.blocked }
+
+// StallTick charges one stall cycle without the full Cycle bookkeeping.
+// Valid only while Blocked() holds; equivalent to calling Cycle then.
+func (c *Core) StallTick() { c.StallCycles.Inc() }
+
 // OpsIssued returns memory operations issued so far.
 func (c *Core) OpsIssued() uint64 { return c.opsIssued }
 
 // OnComplete delivers a finished read token.
 func (c *Core) OnComplete(token uint64) {
-	if f := c.byToken[token]; f != nil {
-		f.done = true
-		delete(c.byToken, token)
-		c.nFlights--
+	c.blocked = false
+	mask := len(c.flights) - 1
+	for i := 0; i < c.fLen; i++ {
+		f := &c.flights[(c.fHead+i)&mask]
+		if !f.done && f.token == token {
+			f.done = true
+			c.nFlights--
+			return
+		}
 	}
+}
+
+// pushFlight appends an outstanding read to the ring, growing it (rare:
+// only until it reaches the ROB-bounded steady-state size) when full.
+func (c *Core) pushFlight(f flight) {
+	if c.fLen == len(c.flights) {
+		size := 2 * len(c.flights)
+		if size == 0 {
+			size = 16
+		}
+		next := make([]flight, size)
+		for i := 0; i < c.fLen; i++ {
+			next[i] = c.flights[(c.fHead+i)&(len(c.flights)-1)]
+		}
+		c.flights = next
+		c.fHead = 0
+	}
+	c.flights[(c.fHead+c.fLen)&(len(c.flights)-1)] = f
+	c.fLen++
 }
 
 // oldestIncomplete returns the instruction index of the oldest outstanding
 // read, popping completed heads.
 func (c *Core) oldestIncomplete() (uint64, bool) {
-	for len(c.flights) > 0 && c.flights[0].done {
-		c.flights = c.flights[1:]
+	mask := len(c.flights) - 1
+	for c.fLen > 0 && c.flights[c.fHead].done {
+		c.fHead = (c.fHead + 1) & mask
+		c.fLen--
 	}
-	if len(c.flights) == 0 {
+	if c.fLen == 0 {
 		return 0, false
 	}
-	return c.flights[0].idx, true
+	return c.flights[c.fHead].idx, true
+}
+
+// AddIdleCycles charges n stalled CPU cycles arithmetically, exactly as n
+// calls to Cycle would when the core is frozen (cannot issue or retire).
+// The simulator uses it during idle fast-forward; calling it on a done core
+// is a no-op, matching Cycle's early return.
+func (c *Core) AddIdleCycles(n uint64) {
+	if !c.done {
+		c.StallCycles.Add(n)
+	}
 }
 
 // loadPending pulls the next memory op from the trace, assigning its
@@ -142,13 +198,28 @@ func (c *Core) issueBase() uint64 { return c.lastIdx }
 
 // Cycle advances the core one CPU cycle: it issues ready memory operations
 // (bounded by the ROB window and issue width) and retires instructions.
-func (c *Core) Cycle(now uint64, issue IssueFunc) error {
+// active reports whether any architectural state changed (an op issued or
+// pulled from the trace, instructions retired, or the core finished); a
+// cycle with active=false would repeat identically every cycle until a read
+// completion arrives, except for the stall counter — which AddIdleCycles
+// advances arithmetically during fast-forward.
+func (c *Core) Cycle(now uint64, issue IssueFunc) (active bool, err error) {
 	if c.done {
-		return nil
+		return false, nil
+	}
+	if c.blocked {
+		// Frozen until a read completes (see below): nothing to issue,
+		// nothing to retire. Account the stall and return.
+		c.StallCycles.Inc()
+		return false, nil
 	}
 	// Issue: ops whose position fits inside the ROB window.
 	for issued := 0; issued < c.cfg.Width; issued++ {
+		hadPend, wasExhausted := c.havePend, c.exhausted
 		c.loadPending()
+		if c.havePend != hadPend || c.exhausted != wasExhausted {
+			active = true
+		}
 		if !c.havePend {
 			break
 		}
@@ -157,15 +228,14 @@ func (c *Core) Cycle(now uint64, issue IssueFunc) error {
 		}
 		token, accepted, err := issue(c.id, c.pending)
 		if err != nil {
-			return err
+			return active, err
 		}
 		if !accepted {
 			break // memory-system backpressure
 		}
+		active = true
 		if c.pending.Type == mem.Read {
-			f := &flight{idx: c.pendingIdx}
-			c.flights = append(c.flights, f)
-			c.byToken[token] = f
+			c.pushFlight(flight{idx: c.pendingIdx, token: token})
 			c.nFlights++
 			c.Reads.Inc()
 		} else {
@@ -191,6 +261,16 @@ func (c *Core) Cycle(now uint64, issue IssueFunc) error {
 	}
 	if limit == c.retired {
 		c.StallCycles.Inc()
+		// If the issue side cannot move either — the trace is exhausted, or
+		// the next op sits outside the ROB window, whose lower edge only
+		// advances when retirement does — the core's entire state is frozen
+		// until an outstanding read completes. OnComplete clears the flag.
+		if !active && c.nFlights > 0 &&
+			((c.exhausted && !c.havePend) || (c.havePend && c.pendingIdx >= c.retired+uint64(c.cfg.ROBSize))) {
+			c.blocked = true
+		}
+	} else {
+		active = true
 	}
 	c.retired = limit
 
@@ -198,7 +278,8 @@ func (c *Core) Cycle(now uint64, issue IssueFunc) error {
 		if c.opsIssued >= c.opsTarget || (c.exhausted && !c.havePend) {
 			c.done = true
 			c.finishCycle = now
+			active = true
 		}
 	}
-	return nil
+	return active, nil
 }

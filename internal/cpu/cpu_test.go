@@ -48,7 +48,7 @@ func run(t *testing.T, c *Core, f *fakeMemory, maxCycles uint64) uint64 {
 	t.Helper()
 	for now := uint64(1); now <= maxCycles; now++ {
 		f.deliver(now, c)
-		if err := c.Cycle(now, f.issue(now)); err != nil {
+		if _, err := c.Cycle(now, f.issue(now)); err != nil {
 			t.Fatal(err)
 		}
 		if c.Done() {
@@ -130,7 +130,7 @@ func TestBackpressureBlocksIssue(t *testing.T) {
 	f.reject = true
 	for now := uint64(1); now <= 50; now++ {
 		f.deliver(now, c)
-		if err := c.Cycle(now, f.issue(now)); err != nil {
+		if _, err := c.Cycle(now, f.issue(now)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -172,7 +172,7 @@ func TestRetiredMonotonic(t *testing.T) {
 	var prev uint64
 	for now := uint64(1); now < 2_000 && !c.Done(); now++ {
 		f.deliver(now, c)
-		if err := c.Cycle(now, f.issue(now)); err != nil {
+		if _, err := c.Cycle(now, f.issue(now)); err != nil {
 			t.Fatal(err)
 		}
 		if c.Retired() < prev {

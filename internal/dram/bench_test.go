@@ -8,22 +8,36 @@ import (
 )
 
 // BenchmarkStreamingReads measures simulator throughput (DRAM cycles and
-// transactions per second) under a saturating row-hit read stream.
+// transactions per second) under a saturating row-hit read stream. The
+// transaction objects and the completion buffer are recycled so the
+// steady-state tick path reports its true allocation count.
 func BenchmarkStreamingReads(b *testing.B) {
 	m := New(DefaultConfig(1))
 	g := m.Config().Geom
 	issued := 0
 	completed := 0
+	var pool []*Txn
+	var done []*Txn
+	b.ReportAllocs()
 	for completed < b.N {
 		for issued < b.N+64 && m.CanEnqueue(0, mem.Read) {
-			m.Enqueue(&Txn{Op: mem.Op{Type: mem.Read}, Loc: addrmap.Location{
+			var t *Txn
+			if n := len(pool); n > 0 {
+				t, pool = pool[n-1], pool[:n-1]
+			} else {
+				t = new(Txn)
+			}
+			*t = Txn{Op: mem.Op{Type: mem.Read}, Loc: addrmap.Location{
 				Rank:   issued % g.RanksPerChan,
 				Bank:   (issued / g.RanksPerChan) % g.BanksPerRank,
 				Column: issued % g.ColumnsPerRow,
-			}})
+			}}
+			m.Enqueue(t)
 			issued++
 		}
-		completed += len(m.Tick())
+		done, _ = m.Tick(done[:0])
+		completed += len(done)
+		pool = append(pool, done...)
 	}
 }
 
@@ -40,19 +54,63 @@ func BenchmarkRandomMix(b *testing.B) {
 		return int(state % uint64(n))
 	}
 	issued, completed := 0, 0
+	var pool []*Txn
+	var done []*Txn
+	b.ReportAllocs()
 	for completed < b.N {
 		t := mem.Read
 		if next(100) < 40 {
 			t = mem.Write
 		}
 		if m.CanEnqueue(0, t) && issued < b.N+64 {
-			m.Enqueue(&Txn{Op: mem.Op{Type: t}, Loc: addrmap.Location{
+			var txn *Txn
+			if n := len(pool); n > 0 {
+				txn, pool = pool[n-1], pool[:n-1]
+			} else {
+				txn = new(Txn)
+			}
+			*txn = Txn{Op: mem.Op{Type: t}, Loc: addrmap.Location{
 				Rank: next(g.RanksPerChan), Bank: next(g.BanksPerRank),
 				Row: next(g.RowsPerBank), Column: next(g.ColumnsPerRow),
+			}}
+			m.Enqueue(txn)
+			issued++
+		}
+		done, _ = m.Tick(done[:0])
+		completed += len(done)
+		pool = append(pool, done...)
+	}
+}
+
+// BenchmarkMemoryTick measures the per-cycle cost of Memory.Tick with a
+// standing queue of row-conflicting transactions — the steady-state hot
+// path of every simulation. The acceptance bar is zero amortized
+// allocations per tick.
+func BenchmarkMemoryTick(b *testing.B) {
+	m := New(DefaultConfig(1))
+	g := m.Config().Geom
+	issued := 0
+	refill := func() {
+		for m.CanEnqueue(0, mem.Read) {
+			m.Enqueue(&Txn{Op: mem.Op{Type: mem.Read}, Loc: addrmap.Location{
+				Rank: issued % g.RanksPerChan,
+				Bank: issued % g.BanksPerRank,
+				Row:  issued, Column: issued % g.ColumnsPerRow,
 			}})
 			issued++
 		}
-		completed += len(m.Tick())
+	}
+	refill()
+	var done []*Txn
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, _ = m.Tick(done[:0])
+		if len(done) > 0 && m.QueueLen(0, mem.Read) < 8 {
+			b.StopTimer()
+			refill()
+			b.StartTimer()
+		}
 	}
 }
 
@@ -60,7 +118,23 @@ func BenchmarkRandomMix(b *testing.B) {
 // (refresh bookkeeping only).
 func BenchmarkIdleTick(b *testing.B) {
 	m := New(DefaultConfig(2))
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		m.Tick()
+		m.Tick(nil)
+	}
+}
+
+// BenchmarkIdleFastForward measures the NextEvent+SkipTo pair that replaces
+// tick-by-tick idling, at one call per idle *period* instead of one per
+// cycle.
+func BenchmarkIdleFastForward(b *testing.B) {
+	m := New(DefaultConfig(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Tick(nil)
+		next := m.NextEvent()
+		if next > m.Now() {
+			m.SkipTo(next)
+		}
 	}
 }

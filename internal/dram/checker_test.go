@@ -42,7 +42,8 @@ func TestSchedulerProtocolCompliance(t *testing.T) {
 			})
 			issued++
 		}
-		completed += len(m.Tick())
+		d, _ := m.Tick(nil)
+		completed += len(d)
 		if m.Now() > 100_000_000 {
 			t.Fatal("traffic did not complete")
 		}
@@ -143,7 +144,8 @@ func TestFullConfigCompliance(t *testing.T) {
 			}})
 			issued++
 		}
-		completed += len(m.Tick())
+		d, _ := m.Tick(nil)
+		completed += len(d)
 	}
 	if !checkers[0].Ok() {
 		t.Fatalf("violations: %v", checkers[0].Violations[:min(5, len(checkers[0].Violations))])

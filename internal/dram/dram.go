@@ -2,6 +2,8 @@ package dram
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 	"strconv"
 
 	"repro/internal/addrmap"
@@ -57,6 +59,11 @@ type Txn struct {
 	Op  mem.Op
 	Loc addrmap.Location
 
+	// GroupID is an opaque caller tag carried through completion; the
+	// security engine uses it to route a finished read back to its access
+	// group without a per-transaction map. Zero means untagged.
+	GroupID uint32
+
 	// Arrival is the DRAM cycle the transaction entered the queue.
 	Arrival uint64
 	// Done is the cycle the data burst finished (valid after completion).
@@ -67,6 +74,9 @@ type Txn struct {
 
 	neededAct bool
 	colIssued bool
+	// seq is the channel-local arrival order used by the bank-indexed
+	// FR-FCFS scan to reproduce flat queue-order tie-breaking.
+	seq uint64
 }
 
 // Latency returns the queueing+service latency in DRAM cycles.
@@ -134,6 +144,63 @@ func (s *ChannelStats) RowHitRate() float64 {
 	return float64(s.RowHits.Value()) / float64(total)
 }
 
+// bankList holds one bank's queued transactions (one direction) in arrival
+// order, plus lazily maintained class representatives: hitRep is the oldest
+// transaction targeting the open row, missRep the oldest needing a PRE (open
+// bank) or ACT (closed bank). Because every scheduler gate is bank- or
+// rank-level and a queue has a uniform direction, these two are the only
+// transactions FR-FCFS can ever pick from this bank, turning the O(queue)
+// scan into an O(banks) one. dirty is set when the bank's open row changes
+// or a member leaves; enqueues update the reps incrementally.
+type bankList struct {
+	txns    []*Txn
+	hitRep  *Txn
+	missRep *Txn
+	dirty   bool
+}
+
+// recompute rebuilds the representatives against the bank's current row
+// state.
+func (bl *bankList) recompute(bk *bank) {
+	bl.dirty = false
+	bl.hitRep, bl.missRep = nil, nil
+	if !bk.open {
+		if len(bl.txns) > 0 {
+			bl.missRep = bl.txns[0]
+		}
+		return
+	}
+	for _, t := range bl.txns {
+		if t.Loc.Row == bk.row {
+			if bl.hitRep == nil {
+				bl.hitRep = t
+			}
+		} else if bl.missRep == nil {
+			bl.missRep = t
+		}
+		if bl.hitRep != nil && bl.missRep != nil {
+			return
+		}
+	}
+}
+
+// rankSched caches one rank's earliest class release times for one queue
+// direction: hRel is the earliest cycle a row-hit column command could
+// issue ignoring the shared data bus (the bus gate has only two per-scan
+// values, same-rank and cross-rank, applied live), pRel the earliest PRE,
+// aRel the earliest ACT (MaxUint64 while a refresh is pending). A value of
+// MaxUint64 also means the class has no candidates. Every term is an
+// absolute timer whose inputs change only when a command issues on the
+// rank, a transaction arrives for it, or its refresh state changes — each
+// of which invalidates the entry — so a valid entry lets the scan skip the
+// rank's banks entirely when no class has matured.
+type rankSched struct {
+	valid bool
+	hRel  uint64
+	pRel  uint64
+	aRel  uint64
+}
+
 // channel is one DDR channel: queues, banks, bus, and scheduler state.
 type channel struct {
 	cfg   Config
@@ -141,16 +208,66 @@ type channel struct {
 
 	readQ  []*Txn
 	writeQ []*Txn
+	// bankRead/bankWrite mirror the queues bucketed by (rank, bank) so the
+	// FR-FCFS scan touches each bank's two class representatives instead of
+	// every queued transaction. busyRead/busyWrite are occupancy bitmaps
+	// over the same index space so the scan visits only nonempty banks
+	// (occupancy is typically a small fraction of ranks*banks). rankOf and
+	// bankOf flatten the bank index back to rank number and bank state
+	// without a division on the hot path.
+	bankRead  []bankList
+	bankWrite []bankList
+	busyRead  []uint64
+	busyWrite []uint64
+	rankOf    []uint16
+	banks     []bank // contiguous bank states; rank.banks alias into it
+	rsRead    []rankSched
+	rsWrite   []rankSched
+	seq       uint64 // arrival counter feeding Txn.seq
+
+	// rankBusyRead/rankBusyWrite summarize the bank bitmaps one level up:
+	// bit r is set while rank r holds any queued transaction of that
+	// direction (counts back the bits). The scheduler scan iterates set
+	// bits only — an empty rank has no candidates and no finite release
+	// times to fold, so skipping it is exact.
+	rankBusyRead  uint64
+	rankBusyWrite uint64
+	rankNRead     []uint16
+	rankNWrite    []uint16
 
 	// pending completions ordered by insertion; completion times are
 	// monotonic enough that a linear scan each cycle is cheap (queues are
-	// small), but we keep them sorted for determinism.
-	pending []*Txn
+	// small), but we keep them sorted for determinism. nextDone is the
+	// exact minimum Done over pending (maintained on append, recomputed on
+	// delivery; Done never changes once set), so the delivery scan runs
+	// only on cycles a burst actually lands.
+	pending  []*Txn
+	nextDone uint64
 
 	busFreeAt uint64
 	lastRank  int
 	lastWasWr bool
 	draining  bool
+
+	// nextTry memoizes a failed scheduler scan: no queued transaction can
+	// have an issuable command before this cycle unless the scheduler state
+	// changes first. Every gating condition in cmdReady compares now against
+	// an absolute timer over state that only changes when a command issues
+	// (bank/bus/rank timers, lastRank) or a transaction arrives, so a scan
+	// that finds nothing issuable also yields the exact earliest re-check
+	// time; issues and enqueues reset the memo to 0 (always scan). This
+	// skips the O(queue) FR-FCFS scan on the majority of ticks.
+	nextTry uint64
+
+	// refNext memoizes the refresh state machine the same way: the
+	// earliest cycle any rank can flip refPending (nextRef), finish its
+	// refresh window (refUntil), or have a drain PRE mature (the open
+	// banks' minimum nextPre). All three are absolute timers, and no
+	// normal-path command can close a bank in a draining rank before that
+	// minimum (a PRE is gated by the very same nextPre, and ticks check
+	// refresh before the scheduler scan), so evaluation at refNext is
+	// exact. Reset to 0 whenever issueRefresh acts.
+	refNext uint64
 
 	// check, when attached, validates every issued command against JEDEC
 	// timing invariants (test instrumentation).
@@ -183,10 +300,30 @@ func New(cfg Config) *Memory {
 	for c := 0; c < cfg.Geom.Channels; c++ {
 		ch := &channel{cfg: cfg, lastRank: -1}
 		ch.ranks = make([]rank, cfg.Geom.RanksPerChan)
+		nb := cfg.Geom.RanksPerChan * cfg.Geom.BanksPerRank
+		ch.bankRead = make([]bankList, nb)
+		ch.bankWrite = make([]bankList, nb)
+		ch.busyRead = make([]uint64, (nb+63)/64)
+		ch.busyWrite = make([]uint64, (nb+63)/64)
+		ch.rankOf = make([]uint16, nb)
+		ch.rsRead = make([]rankSched, cfg.Geom.RanksPerChan)
+		ch.rsWrite = make([]rankSched, cfg.Geom.RanksPerChan)
+		if cfg.Geom.RanksPerChan > 64 {
+			panic("dram: rank occupancy bitmap supports at most 64 ranks per channel")
+		}
+		ch.rankNRead = make([]uint16, cfg.Geom.RanksPerChan)
+		ch.rankNWrite = make([]uint16, cfg.Geom.RanksPerChan)
+		// One contiguous backing array for all banks keeps the scan's
+		// bank-state loads on a handful of cache lines.
+		store := make([]bank, nb)
+		ch.banks = store
 		for r := range ch.ranks {
-			ch.ranks[r].banks = make([]bank, cfg.Geom.BanksPerRank)
+			ch.ranks[r].banks = store[r*cfg.Geom.BanksPerRank : (r+1)*cfg.Geom.BanksPerRank]
 			// Stagger refreshes across ranks to avoid lockstep stalls.
 			ch.ranks[r].nextRef = cfg.Timing.TREFI * uint64(r+1) / uint64(cfg.Geom.RanksPerChan+1)
+			for b := range ch.ranks[r].banks {
+				ch.rankOf[r*cfg.Geom.BanksPerRank+b] = uint16(r)
+			}
 		}
 		m.channels = append(m.channels, ch)
 	}
@@ -286,6 +423,17 @@ func (m *Memory) Enqueue(t *Txn) bool {
 		}
 		ch.writeQ = append(ch.writeQ, t)
 	}
+	ch.seq++
+	t.seq = ch.seq
+	ch.bankInsert(t)
+	// A new arrival can only add one candidate; every other transaction's
+	// memoized release time is unaffected. cmdReady's gates are absolute
+	// timers, so the bound computed here stays exact until the next issue.
+	if c, u := ch.cmdReady(t, m.now); c != cmdNone {
+		ch.nextTry = 0
+	} else if u < ch.nextTry {
+		ch.nextTry = u
+	}
 	return true
 }
 
@@ -298,43 +446,106 @@ func (m *Memory) Pending() int {
 	return n
 }
 
-// Tick advances the memory system one DRAM cycle and returns transactions
-// whose data burst completed this cycle.
-func (m *Memory) Tick() []*Txn {
-	var done []*Txn
+// Tick advances the memory system one DRAM cycle. Transactions whose data
+// burst completed this cycle are appended to done (which may be nil; callers
+// on the hot path pass a reusable buffer re-sliced to length zero). The
+// second result reports whether any channel changed state — delivered a
+// completion or issued a command — this cycle; when it is false the memory
+// system is guaranteed idle until at least NextEvent, which the simulation
+// loop exploits to fast-forward.
+func (m *Memory) Tick(done []*Txn) ([]*Txn, bool) {
+	active := false
 	for _, ch := range m.channels {
-		done = ch.tick(m.now, done)
+		var a bool
+		done, a = ch.tick(m.now, done)
+		active = active || a
 	}
 	m.now++
-	return done
+	return done, active
 }
 
-func (ch *channel) tick(now uint64, done []*Txn) []*Txn {
-	// Deliver completions.
-	for i := 0; i < len(ch.pending); {
-		t := ch.pending[i]
-		if t.Done <= now {
-			ch.pending[i] = ch.pending[len(ch.pending)-1]
-			ch.pending = ch.pending[:len(ch.pending)-1]
-			if t.Op.Type == mem.Read {
-				ch.Stats.ReadLat.Observe(float64(t.Done - t.Arrival))
-			}
-			done = append(done, t)
-			continue
+// NextEvent returns a lower bound on the next DRAM cycle at which any
+// channel could change state — deliver a completion, trigger or finish a
+// refresh, or have a command become issuable — assuming no new transactions
+// arrive. It must be called after a Tick that reported no activity: that
+// tick either ran the scheduler scan (leaving nextTry holding the exact
+// earliest issue cycle) or was itself gated by a still-valid memo, so
+// command issuability reduces to the memoized bound and only completions
+// and refresh milestones need enumerating. Every cycle in [Now, NextEvent)
+// is then provably a no-op except for the BusBusy statistic, which SkipTo
+// advances arithmetically.
+func (m *Memory) NextEvent() uint64 {
+	next := uint64(math.MaxUint64)
+	upd := func(t uint64) {
+		if t >= m.now && t < next {
+			next = t
 		}
-		i++
+	}
+	for _, ch := range m.channels {
+		// Completions land at the memoized minimum Done; the refresh state
+		// machine next acts at its own memo (both are kept current by every
+		// tick, idle or not).
+		if len(ch.pending) > 0 {
+			upd(ch.nextDone)
+		}
+		upd(ch.refNext)
+		// Command issuability is exactly the scan memo: this is only called
+		// after a fully idle tick, so every channel with queued work just
+		// ran (or still holds) a failed scan whose bound is current.
+		if len(ch.readQ)+len(ch.writeQ) > 0 {
+			upd(ch.nextTry)
+		}
+	}
+	return next
+}
+
+// SkipTo advances the memory system to the given cycle without simulating
+// the intervening ones. It is only valid when the caller knows those cycles
+// are no-ops: the last Tick reported no activity and target <= NextEvent().
+// The per-channel BusBusy statistic — the only state the idle loop advances
+// — is updated arithmetically so stats match a tick-by-tick run exactly.
+func (m *Memory) SkipTo(target uint64) {
+	if target <= m.now {
+		return
+	}
+	for _, ch := range m.channels {
+		if ch.busFreeAt > m.now {
+			end := ch.busFreeAt
+			if target < end {
+				end = target
+			}
+			ch.Stats.BusBusy.Add(end - m.now)
+		}
+	}
+	m.now = target
+}
+
+func (ch *channel) tick(now uint64, done []*Txn) ([]*Txn, bool) {
+	active := false
+	// Deliver completions once the earliest pending burst has landed.
+	if len(ch.pending) > 0 && now >= ch.nextDone {
+		nd := uint64(math.MaxUint64)
+		for i := 0; i < len(ch.pending); {
+			t := ch.pending[i]
+			if t.Done <= now {
+				ch.pending[i] = ch.pending[len(ch.pending)-1]
+				ch.pending = ch.pending[:len(ch.pending)-1]
+				if t.Op.Type == mem.Read {
+					ch.Stats.ReadLat.Observe(float64(t.Done - t.Arrival))
+				}
+				done = append(done, t)
+				active = true
+				continue
+			}
+			if t.Done < nd {
+				nd = t.Done
+			}
+			i++
+		}
+		ch.nextDone = nd
 	}
 	if ch.busFreeAt > now {
 		ch.Stats.BusBusy.Inc()
-	}
-
-	// Refresh management: when a rank's refresh is due, drain its banks
-	// (via PRE below) and issue REF once all are closed.
-	for r := range ch.ranks {
-		rk := &ch.ranks[r]
-		if !rk.refPending && now >= rk.nextRef {
-			rk.refPending = true
-		}
 	}
 
 	// Update drain mode.
@@ -344,21 +555,48 @@ func (ch *channel) tick(now uint64, done []*Txn) []*Txn {
 		ch.draining = false
 	}
 
-	// One command per channel per cycle. Priority: refresh PRE/REF, then
-	// the primary queue (writes when draining, else reads), then the other
-	// queue if the primary had nothing issuable.
-	if ch.issueRefresh(now) {
-		return done
+	// Refresh management: when a rank's refresh is due, drain its banks
+	// (via PRE below) and issue REF once all are closed. refNext bounds the
+	// next cycle any of this can act, so the rank walk is skipped between
+	// milestones. One command per channel per cycle; priority: refresh
+	// PRE/REF, then the primary queue (writes when draining, else reads),
+	// then the other queue if the primary had nothing issuable.
+	if now >= ch.refNext {
+		for r := range ch.ranks {
+			rk := &ch.ranks[r]
+			if !rk.refPending && now >= rk.nextRef {
+				rk.refPending = true
+			}
+		}
+		if ch.issueRefresh(now) {
+			ch.refNext = 0
+			ch.nextTry = 0
+			return done, true
+		}
+		ch.refNext = ch.refreshBound(now)
 	}
-	primary, secondary := ch.readQ, ch.writeQ
-	if ch.draining || len(ch.readQ) == 0 {
-		primary, secondary = ch.writeQ, ch.readQ
+	if now < ch.nextTry {
+		// A previous scan proved nothing can issue before nextTry and no
+		// issue or arrival has invalidated it since.
+		return done, active
 	}
-	if ch.issueFrom(primary, now) {
-		return done
+	until := uint64(math.MaxUint64)
+	primaryWrites := ch.draining || len(ch.readQ) == 0
+	if ch.cfg.Sched == FCFS {
+		primary, secondary := ch.readQ, ch.writeQ
+		if primaryWrites {
+			primary, secondary = ch.writeQ, ch.readQ
+		}
+		if ch.issueFCFS(primary, now, &until) || ch.issueFCFS(secondary, now, &until) {
+			ch.nextTry = 0
+			return done, true
+		}
+	} else if ch.issueFromBanks(primaryWrites, now, &until) || ch.issueFromBanks(!primaryWrites, now, &until) {
+		ch.nextTry = 0
+		return done, true
 	}
-	ch.issueFrom(secondary, now)
-	return done
+	ch.nextTry = until
+	return done, active
 }
 
 // issueRefresh issues a PRE or REF needed by a pending refresh; it returns
@@ -382,6 +620,7 @@ func (ch *channel) issueRefresh(now uint64) bool {
 						ch.tr.InstantArg2(ch.track, "PRE", "rank", int64(r), "bank", int64(b))
 					}
 					ch.precharge(rk, bk, now)
+					ch.markBankDirty(r, b)
 					return true
 				}
 			}
@@ -397,6 +636,7 @@ func (ch *channel) issueRefresh(now uint64) bool {
 			rk.refUntil = now + ch.cfg.Timing.TRFC
 			rk.nextRef += ch.cfg.Timing.TREFI
 			rk.refPending = false
+			ch.invalRank(r)
 			for b := range rk.banks {
 				if rk.banks[b].nextAct < rk.refUntil {
 					rk.banks[b].nextAct = rk.refUntil
@@ -409,106 +649,343 @@ func (ch *channel) issueRefresh(now uint64) bool {
 	return false
 }
 
-// issueFrom applies FR-FCFS to the queue: among transactions whose column
-// command is issuable now, it prefers ones in the rank that last used the
-// data bus (rank batching amortizes the tRTRS switch penalty, as commercial
-// controllers do); otherwise the first ready row hit wins; otherwise the
-// first transaction for which an ACT or PRE can be issued. Returns true if
-// a command was issued.
-func (ch *channel) issueFrom(q []*Txn, now uint64) bool {
-	if ch.cfg.Sched == FCFS {
-		// Strict in-order service: only the oldest transaction may issue.
-		for _, t := range q {
-			if c := ch.cmdReady(t, now); c != cmdNone {
-				ch.issue(t, c, now)
-				return true
+// refreshBound returns the earliest cycle at which any rank's refresh
+// machinery can next act, given that issueRefresh just declined at now: a
+// quiescent rank acts at nextRef (the refPending flip), a rank inside its
+// refresh window at refUntil, and a draining rank at the earliest open
+// bank's nextPre (some bank is open with nextPre > now, or REF would have
+// issued). Column commands can push a nextPre later — making the bound
+// conservatively early, which only costs a re-scan — and nothing can make
+// an action earlier: a normal-path PRE in a draining rank is gated by the
+// same nextPre timers, and ACTs there are withheld.
+func (ch *channel) refreshBound(now uint64) uint64 {
+	next := uint64(math.MaxUint64)
+	for r := range ch.ranks {
+		rk := &ch.ranks[r]
+		t := rk.nextRef
+		if rk.refPending {
+			if now < rk.refUntil {
+				t = rk.refUntil
+			} else {
+				t = math.MaxUint64
+				for b := range rk.banks {
+					if bk := &rk.banks[b]; bk.open && bk.nextPre < t {
+						t = bk.nextPre
+					}
+				}
 			}
-			return false
 		}
-		return false
+		if t < next {
+			next = t
+		}
 	}
-	var firstReady *Txn
-	var firstReadyCmd cmd
+	return next
+}
+
+// issueFCFS serves the oldest transaction strictly in order; only the
+// queue head may issue. When it cannot, *until is lowered to its release
+// time.
+func (ch *channel) issueFCFS(q []*Txn, now uint64, until *uint64) bool {
 	for _, t := range q {
-		c := ch.cmdReady(t, now)
-		if c != cmdRead && c != cmdWrite {
-			continue
-		}
-		if t.Loc.Rank == ch.lastRank {
-			ch.issue(t, c, now)
-			return true
-		}
-		if firstReady == nil {
-			firstReady, firstReadyCmd = t, c
-		}
-	}
-	if firstReady != nil {
-		ch.issue(firstReady, firstReadyCmd, now)
-		return true
-	}
-	// No ready column command: oldest transaction with any issuable command.
-	for _, t := range q {
-		c := ch.cmdReady(t, now)
+		c, u := ch.cmdReady(t, now)
 		if c != cmdNone {
 			ch.issue(t, c, now)
 			return true
 		}
+		if u < *until {
+			*until = u
+		}
+		return false
+	}
+	return false
+}
+
+// issueFromBanks applies FR-FCFS over one direction's bank buckets: among
+// transactions whose column command is issuable now, it prefers ones in the
+// rank that last used the data bus (rank batching amortizes the tRTRS switch
+// penalty, as commercial controllers do); otherwise the oldest ready row hit
+// wins; otherwise the oldest transaction for which an ACT or PRE can be
+// issued. Only each bank's two class representatives can ever be picked —
+// every gate is bank- or rank-level, so same-bank same-class transactions
+// are interchangeable and the oldest always wins — which makes the scan
+// O(banks) instead of O(queue). Ties across banks resolve by arrival
+// sequence, reproducing the flat queue-order scan exactly. When nothing is
+// issuable, *until is lowered to the earliest cycle any transaction could
+// become issuable with unchanged scheduler state. Returns true if a command
+// was issued.
+func (ch *channel) issueFromBanks(isWrite bool, now uint64, until *uint64) bool {
+	lists, busy, q, rs, rbits := ch.bankRead, ch.busyRead, ch.readQ, ch.rsRead, ch.rankBusyRead
+	if isWrite {
+		lists, busy, q, rs, rbits = ch.bankWrite, ch.busyWrite, ch.writeQ, ch.rsWrite, ch.rankBusyWrite
+	}
+	if len(q) == 0 {
+		return false
+	}
+	u := *until // register-local; written back before returning
+	tm := &ch.cfg.Timing
+	lead, colCmd := tm.TCAS, cmdRead
+	if isWrite {
+		lead, colCmd = tm.TCWD, cmdWrite
+	}
+	// The shared-bus gate on column commands takes just two values per scan:
+	// one for the rank that last used the bus, one for every other rank.
+	busSame, busOther := ch.busFreeAt, ch.busFreeAt
+	if ch.lastRank >= 0 {
+		busOther += tm.TRTRS
+		if ch.lastWasWr != isWrite {
+			busSame += 2
+			busOther += 2
+		}
+	}
+	colGateSame, colGateOther := uint64(0), uint64(0)
+	if busSame > lead {
+		colGateSame = busSame - lead
+	}
+	if busOther > lead {
+		colGateOther = busOther - lead
+	}
+	banksPer := ch.cfg.Geom.BanksPerRank
+	var colLR, col, any *Txn
+	var anyCmd cmd
+	for rb := rbits; rb != 0; {
+		r := bits.TrailingZeros64(rb)
+		rb &^= 1 << uint(r)
+		colGate := colGateOther
+		if r == ch.lastRank {
+			colGate = colGateSame
+		}
+		if rc := &rs[r]; rc.valid {
+			// Fast path: the cached class releases say whether anything in
+			// this rank can have matured; if not, fold them and move on.
+			hGate := rc.hRel
+			if hGate != math.MaxUint64 && colGate > hGate {
+				hGate = colGate
+			}
+			if now < hGate && now < rc.pRel && now < rc.aRel {
+				if hGate < u {
+					u = hGate
+				}
+				if rc.pRel < u {
+					u = rc.pRel
+				}
+				if rc.aRel < u {
+					u = rc.aRel
+				}
+				continue
+			}
+		}
+		rk := &ch.ranks[r]
+		colBase := rk.refUntil
+		if !isWrite && rk.wtrUntil > colBase {
+			colBase = rk.wtrUntil
+		}
+		colNoBus := colBase
+		if colGate > colBase {
+			colBase = colGate
+		}
+		actBase := rk.refUntil
+		if rk.nextRankAct > actBase {
+			actBase = rk.nextRankAct
+		}
+		if oldest := rk.actWindow[rk.actIdx]; oldest != 0 && oldest-1+tm.TFAW > actBase {
+			actBase = oldest - 1 + tm.TFAW
+		}
+		// Visit the rank's occupied banks, rebuilding the cached releases
+		// (the per-class minima over bank timers) along the way.
+		minCol, minPre, minAct := uint64(math.MaxUint64), uint64(math.MaxUint64), uint64(math.MaxUint64)
+		lo, hi := r*banksPer, (r+1)*banksPer
+		for w := lo >> 6; w <= (hi-1)>>6; w++ {
+			word := busy[w]
+			base := w << 6
+			if base < lo {
+				word &= ^uint64(0) << uint(lo-base)
+			}
+			if base+64 > hi {
+				word &= ^uint64(0) >> uint(base+64-hi)
+			}
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &^= 1 << uint(bit)
+				idx := base + bit
+				bl := &lists[idx]
+				bk := &ch.banks[idx]
+				if bl.dirty {
+					bl.recompute(bk)
+				}
+				if bk.open {
+					if h := bl.hitRep; h != nil {
+						if bk.nextCol < minCol {
+							minCol = bk.nextCol
+						}
+						rel := colBase
+						if bk.nextCol > rel {
+							rel = bk.nextCol
+						}
+						if now >= rel {
+							if r == ch.lastRank {
+								if colLR == nil || h.seq < colLR.seq {
+									colLR = h
+								}
+							} else if col == nil || h.seq < col.seq {
+								col = h
+							}
+						} else if rel < u {
+							u = rel
+						}
+					}
+					if p := bl.missRep; p != nil {
+						if bk.nextPre < minPre {
+							minPre = bk.nextPre
+						}
+						rel := rk.refUntil
+						if bk.nextPre > rel {
+							rel = bk.nextPre
+						}
+						if now >= rel {
+							if any == nil || p.seq < any.seq {
+								any, anyCmd = p, cmdPre
+							}
+						} else if rel < u {
+							u = rel
+						}
+					}
+				} else if a := bl.missRep; a != nil {
+					if bk.nextAct < minAct {
+						minAct = bk.nextAct
+					}
+					if rk.refPending {
+						// ACT is withheld entirely while a refresh is due
+						// (MaxUint64 release: the REF issue resets the scan
+						// memo, so nothing to fold into until).
+						continue
+					}
+					rel := actBase
+					if bk.nextAct > rel {
+						rel = bk.nextAct
+					}
+					if now >= rel {
+						if any == nil || a.seq < any.seq {
+							any, anyCmd = a, cmdAct
+						}
+					} else if rel < u {
+						u = rel
+					}
+				}
+			}
+		}
+		rc := &rs[r]
+		rc.valid = true
+		rc.hRel = math.MaxUint64
+		if minCol != math.MaxUint64 {
+			rc.hRel = colNoBus
+			if minCol > colNoBus {
+				rc.hRel = minCol
+			}
+		}
+		rc.pRel = math.MaxUint64
+		if minPre != math.MaxUint64 {
+			rc.pRel = rk.refUntil
+			if minPre > rc.pRel {
+				rc.pRel = minPre
+			}
+		}
+		rc.aRel = math.MaxUint64
+		if minAct != math.MaxUint64 && !rk.refPending {
+			rc.aRel = actBase
+			if minAct > rc.aRel {
+				rc.aRel = minAct
+			}
+		}
+	}
+	*until = u
+	if colLR != nil {
+		ch.issue(colLR, colCmd, now)
+		return true
+	}
+	if col != nil {
+		ch.issue(col, colCmd, now)
+		return true
+	}
+	if any != nil {
+		ch.issue(any, anyCmd, now)
+		return true
 	}
 	return false
 }
 
 // cmdReady returns the next command needed by t if it is issuable at now.
-func (ch *channel) cmdReady(t *Txn, now uint64) cmd {
+// When it is not (cmdNone), the second result is the exact earliest cycle
+// the command becomes issuable assuming no scheduler state change — every
+// gate is a `now >= timer` comparison, so the release time is the maximum
+// of the failing timers (MaxUint64 when blocked on a state change such as a
+// pending refresh, which resets the caller's memo when it issues).
+func (ch *channel) cmdReady(t *Txn, now uint64) (cmd, uint64) {
 	if t.colIssued {
-		return cmdNone
+		return cmdNone, math.MaxUint64
 	}
 	rk := &ch.ranks[t.Loc.Rank]
 	bk := &rk.banks[t.Loc.Bank]
+	until := now
 	if now < rk.refUntil {
-		return cmdNone
+		until = rk.refUntil
 	}
 	if bk.open && bk.row == t.Loc.Row {
 		// Column command.
-		if now < bk.nextCol {
-			return cmdNone
+		tm := &ch.cfg.Timing
+		if bk.nextCol > until {
+			until = bk.nextCol
 		}
-		tm := ch.cfg.Timing
-		var burstStart uint64
-		if t.Op.Type == mem.Read {
-			if now < rk.wtrUntil {
-				return cmdNone
-			}
-			burstStart = now + tm.TCAS
+		var lead uint64
+		isWrite := t.Op.Type == mem.Write
+		if isWrite {
+			lead = tm.TCWD
 		} else {
-			burstStart = now + tm.TCWD
+			lead = tm.TCAS
+			if rk.wtrUntil > until {
+				until = rk.wtrUntil
+			}
 		}
-		if burstStart < ch.busNeed(t.Loc.Rank, t.Op.Type == mem.Write) {
-			return cmdNone
+		// The burst may start at now+lead; the shared bus allows it from
+		// busNeed, so the command is issuable from busNeed-lead.
+		if need := ch.busNeed(t.Loc.Rank, isWrite); need > lead && need-lead > until {
+			until = need - lead
 		}
-		if t.Op.Type == mem.Read {
-			return cmdRead
+		if now < until {
+			return cmdNone, until
 		}
-		return cmdWrite
+		if isWrite {
+			return cmdWrite, now
+		}
+		return cmdRead, now
 	}
 	if bk.open {
 		// Row conflict: need PRE.
-		if now >= bk.nextPre {
-			return cmdPre
+		if bk.nextPre > until {
+			until = bk.nextPre
 		}
-		return cmdNone
+		if now < until {
+			return cmdNone, until
+		}
+		return cmdPre, now
 	}
 	// Closed: need ACT, subject to tRC/tRP (nextAct), tRRD, tFAW, and not
 	// activating a rank that is about to refresh (avoids starving REF).
 	if rk.refPending {
-		return cmdNone
+		return cmdNone, math.MaxUint64
 	}
-	if now < bk.nextAct || now < rk.nextRankAct {
-		return cmdNone
+	if bk.nextAct > until {
+		until = bk.nextAct
 	}
-	if oldest := rk.actWindow[rk.actIdx]; oldest != 0 && now < oldest-1+ch.cfg.Timing.TFAW {
-		return cmdNone
+	if rk.nextRankAct > until {
+		until = rk.nextRankAct
 	}
-	return cmdAct
+	if oldest := rk.actWindow[rk.actIdx]; oldest != 0 && oldest-1+ch.cfg.Timing.TFAW > until {
+		until = oldest - 1 + ch.cfg.Timing.TFAW
+	}
+	if now < until {
+		return cmdNone, until
+	}
+	return cmdAct, now
 }
 
 // busNeed returns the earliest burst-start cycle permitted by the shared
@@ -526,7 +1003,8 @@ func (ch *channel) busNeed(rnk int, isWrite bool) uint64 {
 }
 
 func (ch *channel) issue(t *Txn, c cmd, now uint64) {
-	tm := ch.cfg.Timing
+	ch.invalRank(t.Loc.Rank)
+	tm := &ch.cfg.Timing
 	rk := &ch.ranks[t.Loc.Rank]
 	bk := &rk.banks[t.Loc.Bank]
 	switch c {
@@ -546,6 +1024,7 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 		rk.actWindow[rk.actIdx] = now + 1
 		rk.actIdx = (rk.actIdx + 1) % len(rk.actWindow)
 		t.neededAct = true
+		ch.markBankDirty(t.Loc.Rank, t.Loc.Bank)
 		ch.Stats.Activates.Inc()
 	case cmdPre:
 		if ch.check != nil {
@@ -555,6 +1034,7 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 			ch.tr.InstantArg2(ch.track, "PRE", "rank", int64(t.Loc.Rank), "bank", int64(t.Loc.Bank))
 		}
 		ch.precharge(rk, bk, now)
+		ch.markBankDirty(t.Loc.Rank, t.Loc.Bank)
 	case cmdRead, cmdWrite:
 		if ch.check != nil {
 			ch.check.OnColumn(now, t.Loc.Rank, t.Loc.Bank, t.Loc.Row, c == cmdWrite)
@@ -596,8 +1076,26 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 		}
 		t.Done = burstStart + tm.TBurst
 		ch.removeFromQueue(t)
+		if len(ch.pending) == 0 || t.Done < ch.nextDone {
+			ch.nextDone = t.Done
+		}
 		ch.pending = append(ch.pending, t)
 	}
+}
+
+// markBankDirty invalidates both directions' representatives for a bank
+// whose open-row state just changed.
+func (ch *channel) markBankDirty(r, b int) {
+	i := r*ch.cfg.Geom.BanksPerRank + b
+	ch.bankRead[i].dirty = true
+	ch.bankWrite[i].dirty = true
+	ch.invalRank(r)
+}
+
+// invalRank drops both directions' cached release times for a rank.
+func (ch *channel) invalRank(r int) {
+	ch.rsRead[r].valid = false
+	ch.rsWrite[r].valid = false
 }
 
 func (ch *channel) precharge(rk *rank, bk *bank, now uint64) {
@@ -610,13 +1108,75 @@ func (ch *channel) precharge(rk *rank, bk *bank, now uint64) {
 
 func (ch *channel) removeFromQueue(t *Txn) {
 	q := &ch.readQ
+	bl := &ch.bankRead[ch.bankIdx(t)]
 	if t.Op.Type == mem.Write {
 		q = &ch.writeQ
+		bl = &ch.bankWrite[ch.bankIdx(t)]
 	}
 	for i, x := range *q {
 		if x == t {
 			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
+			break
 		}
+	}
+	for i, x := range bl.txns {
+		if x == t {
+			bl.txns = append(bl.txns[:i], bl.txns[i+1:]...)
+			break
+		}
+	}
+	bl.dirty = true
+	if len(bl.txns) == 0 {
+		i := ch.bankIdx(t)
+		busy := ch.busyRead
+		if t.Op.Type == mem.Write {
+			busy = ch.busyWrite
+		}
+		busy[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	if t.Op.Type == mem.Write {
+		ch.rankNWrite[t.Loc.Rank]--
+		if ch.rankNWrite[t.Loc.Rank] == 0 {
+			ch.rankBusyWrite &^= 1 << uint(t.Loc.Rank)
+		}
+	} else {
+		ch.rankNRead[t.Loc.Rank]--
+		if ch.rankNRead[t.Loc.Rank] == 0 {
+			ch.rankBusyRead &^= 1 << uint(t.Loc.Rank)
+		}
+	}
+}
+
+func (ch *channel) bankIdx(t *Txn) int {
+	return t.Loc.Rank*ch.cfg.Geom.BanksPerRank + t.Loc.Bank
+}
+
+// bankInsert appends an arriving transaction to its bank bucket, updating
+// the class representatives in place when they are clean: the newcomer is
+// the youngest member, so it only fills a class that had no representative.
+func (ch *channel) bankInsert(t *Txn) {
+	i := ch.bankIdx(t)
+	bl, busy := &ch.bankRead[i], ch.busyRead
+	if t.Op.Type == mem.Write {
+		bl, busy = &ch.bankWrite[i], ch.busyWrite
+		ch.rankNWrite[t.Loc.Rank]++
+		ch.rankBusyWrite |= 1 << uint(t.Loc.Rank)
+	} else {
+		ch.rankNRead[t.Loc.Rank]++
+		ch.rankBusyRead |= 1 << uint(t.Loc.Rank)
+	}
+	bl.txns = append(bl.txns, t)
+	busy[i>>6] |= 1 << (uint(i) & 63)
+	ch.invalRank(t.Loc.Rank)
+	if bl.dirty {
+		return
+	}
+	bk := &ch.ranks[t.Loc.Rank].banks[t.Loc.Bank]
+	if bk.open && t.Loc.Row == bk.row {
+		if bl.hitRep == nil {
+			bl.hitRep = t
+		}
+	} else if bl.missRep == nil {
+		bl.missRep = t
 	}
 }

@@ -36,7 +36,8 @@ func runUntil(t *testing.T, m *Memory, n int, budget uint64) []*Txn {
 		if m.Now()-start > budget {
 			t.Fatalf("only %d/%d transactions completed within %d cycles", len(done), n, budget)
 		}
-		done = append(done, m.Tick()...)
+		d, _ := m.Tick(nil)
+		done = append(done, d...)
 	}
 	return done
 }
@@ -179,7 +180,7 @@ func TestRefreshHappens(t *testing.T) {
 	tm := DDR3_1600()
 	// Idle for two refresh intervals; every rank should refresh.
 	for c := uint64(0); c < 2*tm.TREFI+tm.TRFC; c++ {
-		m.Tick()
+		m.Tick(nil)
 	}
 	if got := m.ChannelStats(0).Refreshes.Value(); got < 2 {
 		t.Fatalf("refreshes = %d, want >= 2 after two tREFI windows", got)
@@ -192,7 +193,7 @@ func TestRefreshBlocksRankTemporarily(t *testing.T) {
 	// Run until just after the first refresh begins, then issue a read to
 	// the refreshing rank; it must wait out tRFC.
 	for m.ChannelStats(0).Refreshes.Value() == 0 {
-		m.Tick()
+		m.Tick(nil)
 		if m.Now() > 2*tm.TREFI {
 			t.Fatal("no refresh observed")
 		}

@@ -24,7 +24,8 @@ func runTraffic(t *testing.T, nReads, nWrites int) *dram.Memory {
 			m.Enqueue(&dram.Txn{Op: mem.Op{Type: mem.Write}, Loc: addrmap.Location{Row: issued % 16, Bank: 1}})
 			issued++
 		}
-		done += len(m.Tick())
+		d, _ := m.Tick(nil)
+		done += len(d)
 		if m.Now() > 1_000_000 {
 			t.Fatal("traffic did not drain")
 		}

@@ -16,7 +16,7 @@ import (
 type CounterStore struct {
 	geom  Geometry
 	cap   uint64 // 2^LocalCounterBits
-	nodes map[uint64]*nodeCounters
+	nodes pagedPtr[nodeCounters]
 
 	// Writes counts counter increments; Overflows counts re-encryption
 	// events; Rebases counts cheap global-counter rebases.
@@ -33,19 +33,15 @@ type nodeCounters struct {
 // NewCounterStore creates an empty store for the given tree geometry.
 func NewCounterStore(geom Geometry) *CounterStore {
 	return &CounterStore{
-		geom:  geom,
-		cap:   1 << uint(geom.LocalCounterBits),
-		nodes: make(map[uint64]*nodeCounters),
+		geom: geom,
+		cap:  1 << uint(geom.LocalCounterBits),
 	}
 }
 
 func (s *CounterStore) node(leaf uint64) *nodeCounters {
-	n := s.nodes[leaf]
-	if n == nil {
-		n = &nodeCounters{locals: make([]uint64, s.geom.LeafArity)}
-		s.nodes[leaf] = n
-	}
-	return n
+	return s.nodes.GetOrCreate(leaf, func() *nodeCounters {
+		return &nodeCounters{locals: make([]uint64, s.geom.LeafArity)}
+	})
 }
 
 func (s *CounterStore) slot(localBlock uint64) (leaf uint64, slot int) {
@@ -56,7 +52,7 @@ func (s *CounterStore) slot(localBlock uint64) (leaf uint64, slot int) {
 // increasing (base, local) encoding used in MAC computation.
 func (s *CounterStore) Value(localBlock uint64) uint64 {
 	leaf, slot := s.slot(localBlock)
-	n := s.nodes[leaf]
+	n := s.nodes.Get(leaf)
 	if n == nil {
 		return 0
 	}
@@ -117,7 +113,7 @@ func (s *CounterStore) OverflowRate() float64 {
 }
 
 // TouchedNodes returns the number of leaf nodes with any written counter.
-func (s *CounterStore) TouchedNodes() int { return len(s.nodes) }
+func (s *CounterStore) TouchedNodes() int { return s.nodes.Len() }
 
 // OverflowCount returns the number of re-encryption events so far.
 func (s *CounterStore) OverflowCount() uint64 { return s.Overflows.Value() }

@@ -293,7 +293,7 @@ func DecodeMorphable(data []byte, arity, payloadBits int) (*MorphableBlock, erro
 type MorphableStore struct {
 	geom    Geometry
 	payload int
-	nodes   map[uint64]*MorphableBlock
+	nodes   pagedPtr[MorphableBlock]
 
 	Writes    stats.Counter
 	Overflows stats.Counter
@@ -310,17 +310,13 @@ func NewMorphableStore(geom Geometry) *MorphableStore {
 	return &MorphableStore{
 		geom:    geom,
 		payload: payload,
-		nodes:   make(map[uint64]*MorphableBlock),
 	}
 }
 
 func (s *MorphableStore) node(leaf uint64) *MorphableBlock {
-	n := s.nodes[leaf]
-	if n == nil {
-		n = NewMorphableBlock(s.geom.LeafArity, s.payload)
-		s.nodes[leaf] = n
-	}
-	return n
+	return s.nodes.GetOrCreate(leaf, func() *MorphableBlock {
+		return NewMorphableBlock(s.geom.LeafArity, s.payload)
+	})
 }
 
 // Write increments the counter of a tree-local block and reports overflow.
@@ -338,7 +334,7 @@ func (s *MorphableStore) Write(localBlock uint64) bool {
 // Value returns the counter of a tree-local block.
 func (s *MorphableStore) Value(localBlock uint64) uint64 {
 	leaf := localBlock / uint64(s.geom.LeafArity)
-	n := s.nodes[leaf]
+	n := s.nodes.Get(leaf)
 	if n == nil {
 		return 0
 	}

@@ -1,0 +1,128 @@
+package integrity
+
+// This file provides paged dense stores that replace the map[uint64] node,
+// MAC, hash, and shadow-data tables on the simulator's hot paths. Keys
+// (tree-local node or block indices) are dense-ish and bounded by the
+// protected region, so a two-level radix — a growable top-level slice of
+// fixed 512-entry pages, allocated on first touch — gives O(1) lookups with
+// no hashing, no per-entry allocation, and cache-friendly scans of
+// neighboring slots (siblings under a leaf share a page).
+
+const (
+	pageShift = 9
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// pagedPtr is a two-level radix map from uint64 keys to *T.
+type pagedPtr[T any] struct {
+	pages [][]*T
+	n     int // non-nil entries
+}
+
+func (p *pagedPtr[T]) page(key uint64, grow bool) []*T {
+	pi := key >> pageShift
+	if pi >= uint64(len(p.pages)) {
+		if !grow {
+			return nil
+		}
+		next := make([][]*T, pi+1)
+		copy(next, p.pages)
+		p.pages = next
+	}
+	pg := p.pages[pi]
+	if pg == nil && grow {
+		pg = make([]*T, pageSize)
+		p.pages[pi] = pg
+	}
+	return pg
+}
+
+// Get returns the entry at key, or nil if never set.
+func (p *pagedPtr[T]) Get(key uint64) *T {
+	pg := p.page(key, false)
+	if pg == nil {
+		return nil
+	}
+	return pg[key&pageMask]
+}
+
+// GetOrCreate returns the entry at key, calling mk to fill an empty slot.
+func (p *pagedPtr[T]) GetOrCreate(key uint64, mk func() *T) *T {
+	pg := p.page(key, true)
+	v := pg[key&pageMask]
+	if v == nil {
+		v = mk()
+		pg[key&pageMask] = v
+		p.n++
+	}
+	return v
+}
+
+// Len returns the number of entries ever created.
+func (p *pagedPtr[T]) Len() int { return p.n }
+
+// pagedU64 is a two-level radix map from uint64 keys to uint64 values with
+// a presence bitmap, preserving the map idiom's "zero, absent" lookups
+// (pristine tree nodes and never-written MACs are semantically distinct
+// from stored zeros).
+type pagedU64 struct {
+	vals    [][]uint64
+	present [][]uint64 // one bit per slot
+	n       int
+}
+
+func (p *pagedU64) grow(pi uint64) {
+	if pi < uint64(len(p.vals)) {
+		return
+	}
+	nv := make([][]uint64, pi+1)
+	np := make([][]uint64, pi+1)
+	copy(nv, p.vals)
+	copy(np, p.present)
+	p.vals, p.present = nv, np
+}
+
+// Lookup returns the value at key and whether it was ever set.
+func (p *pagedU64) Lookup(key uint64) (uint64, bool) {
+	pi := key >> pageShift
+	if pi >= uint64(len(p.vals)) || p.vals[pi] == nil {
+		return 0, false
+	}
+	s := key & pageMask
+	if p.present[pi][s>>6]&(1<<(s&63)) == 0 {
+		return 0, false
+	}
+	return p.vals[pi][s], true
+}
+
+// Get returns the value at key, or zero if never set.
+func (p *pagedU64) Get(key uint64) uint64 {
+	v, _ := p.Lookup(key)
+	return v
+}
+
+// Set stores a value, marking the key present.
+func (p *pagedU64) Set(key, v uint64) {
+	pi := key >> pageShift
+	p.grow(pi)
+	if p.vals[pi] == nil {
+		p.vals[pi] = make([]uint64, pageSize)
+		p.present[pi] = make([]uint64, pageSize/64)
+	}
+	s := key & pageMask
+	if p.present[pi][s>>6]&(1<<(s&63)) == 0 {
+		p.present[pi][s>>6] |= 1 << (s & 63)
+		p.n++
+	}
+	p.vals[pi][s] = v
+}
+
+// Xor folds v into the value at key (zero if absent), marking it present —
+// the `m[k] ^= v` idiom used by parity updates and tamper injection.
+func (p *pagedU64) Xor(key, v uint64) {
+	p.Set(key, p.Get(key)^v)
+}
+
+// Len returns the number of present keys.
+func (p *pagedU64) Len() int { return p.n }

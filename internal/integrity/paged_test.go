@@ -1,0 +1,128 @@
+package integrity
+
+import "testing"
+
+func TestPagedU64MapSemantics(t *testing.T) {
+	var p pagedU64
+	ref := map[uint64]uint64{}
+	// Mirror a random-ish op sequence against a real map, crossing page
+	// boundaries and exercising Set/Xor/Lookup/absent-Get.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < 20000; i++ {
+		key := next() % 5000
+		switch next() % 3 {
+		case 0:
+			v := next()
+			p.Set(key, v)
+			ref[key] = v
+		case 1:
+			v := next()
+			p.Xor(key, v)
+			ref[key] ^= v
+		case 2:
+			got, ok := p.Lookup(key)
+			want, wok := ref[key]
+			if got != want || ok != wok {
+				t.Fatalf("Lookup(%d) = (%d,%v), want (%d,%v)", key, got, ok, want, wok)
+			}
+		}
+	}
+	if p.Len() != len(ref) {
+		t.Fatalf("Len = %d, map has %d", p.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if got := p.Get(k); got != want {
+			t.Fatalf("Get(%d) = %d, want %d", k, got, want)
+		}
+	}
+	// A stored zero is present; an untouched key is not.
+	p.Set(999_999, 0)
+	if _, ok := p.Lookup(999_999); !ok {
+		t.Fatal("stored zero must read as present")
+	}
+	if _, ok := p.Lookup(999_998); ok {
+		t.Fatal("untouched key must read as absent")
+	}
+	// Xor on an absent key starts from zero and marks it present.
+	p.Xor(777_777, 0b101)
+	if v, ok := p.Lookup(777_777); !ok || v != 0b101 {
+		t.Fatalf("Xor on absent key = (%d,%v), want (5,true)", v, ok)
+	}
+}
+
+func TestPagedPtr(t *testing.T) {
+	var p pagedPtr[int]
+	if p.Get(12345) != nil {
+		t.Fatal("empty store must return nil")
+	}
+	mk := func() *int { v := new(int); *v = 7; return v }
+	a := p.GetOrCreate(3, mk)
+	if *a != 7 {
+		t.Fatal("create did not run")
+	}
+	*a = 42
+	if b := p.GetOrCreate(3, mk); b != a || *b != 42 {
+		t.Fatal("GetOrCreate must return the existing entry")
+	}
+	if p.Get(3) != a {
+		t.Fatal("Get must return the created entry")
+	}
+	// Far key forces top-level growth without touching earlier pages.
+	far := uint64(1 << 20)
+	p.GetOrCreate(far, mk)
+	if p.Get(3) != a || p.Get(far) == nil || p.Get(far-1) != nil {
+		t.Fatal("growth corrupted existing entries")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+}
+
+// BenchmarkCounterStoreWrite measures the dense-store counter write path
+// (leaf lookup + local increment) — zero allocations at steady state.
+func BenchmarkCounterStoreWrite(b *testing.B) {
+	s := NewCounterStore(ITESP128())
+	for i := 0; i < 1<<16; i++ {
+		s.Write(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(uint64(i) & (1<<16 - 1))
+	}
+}
+
+// BenchmarkMorphableStoreWrite measures the bit-exact morphable counter
+// write path through the paged store.
+func BenchmarkMorphableStoreWrite(b *testing.B) {
+	s := NewMorphableStore(ITESP128())
+	for i := 0; i < 1<<16; i++ {
+		s.Write(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(uint64(i) & (1<<16 - 1))
+	}
+}
+
+// BenchmarkPagedU64 measures the raw radix-store lookup+update pair against
+// the map it replaced.
+func BenchmarkPagedU64(b *testing.B) {
+	var p pagedU64
+	for i := uint64(0); i < 1<<16; i++ {
+		p.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & (1<<16 - 1)
+		p.Xor(k, p.Get(k^1))
+	}
+}

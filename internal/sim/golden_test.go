@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// The shared -update flag (obs_test.go) also re-pins the golden summaries.
+
+// goldenConfigs are the reduced-scale runs whose summaries are pinned in
+// testdata. They cover the four scheme families the hot loop specializes
+// for (VAULT, Synergy/Morphable, ITESP, isolation) plus a DDR4 run (3:1
+// CPU:DRAM clock ratio) and an LLC-filtered run, so any change to the tick
+// path, token routing, or idle fast-forward that shifts simulated time by
+// even one cycle fails the comparison.
+func goldenConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Benchmark:  spec,
+		Cores:      2,
+		Channels:   1,
+		OpsPerCore: 2500,
+		Seed:       11,
+	}
+	cfgs := map[string]Config{}
+	for _, s := range []string{"vault", "synergy", "itesp", "syn128iso"} {
+		c := base
+		c.SchemeName = s
+		cfgs[s] = c
+	}
+	ddr4 := base
+	ddr4.SchemeName = "itesp"
+	ddr4.DDR4 = true
+	cfgs["itesp+ddr4"] = ddr4
+	llc := base
+	llc.SchemeName = "vault"
+	llc.FilterLLC = true
+	llc.LLCMBPerCore = 1
+	cfgs["vault+llc"] = llc
+	return cfgs
+}
+
+const goldenPath = "testdata/golden_summaries.json"
+
+// TestGoldenCycleEquivalence asserts that every golden config still produces
+// the exact Summary (cycles, per-core cycles, traffic, energy) recorded from
+// the straight-line pre-optimization simulator. Run with -update to re-pin.
+func TestGoldenCycleEquivalence(t *testing.T) {
+	cfgs := goldenConfigs(t)
+	got := map[string]*Summary{}
+	for name, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = res.Summarize()
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	want := map[string]*Summary{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name := range cfgs {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update)", name)
+			continue
+		}
+		g := got[name]
+		if g.Cycles != w.Cycles {
+			t.Errorf("%s: Cycles = %d, golden %d", name, g.Cycles, w.Cycles)
+		}
+		if !reflect.DeepEqual(g.PerCoreCycles, w.PerCoreCycles) {
+			t.Errorf("%s: PerCoreCycles = %v, golden %v", name, g.PerCoreCycles, w.PerCoreCycles)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("%s: summary diverged from golden\n got: %+v\nwant: %+v", name, g, w)
+		}
+	}
+}
+
+// TestIdleSkipEquivalence runs representative configs twice in-process —
+// fast-forwarding and straight-line (DisableIdleSkip) — and requires the
+// full summaries to match exactly. Together with the pinned goldens this
+// proves the optimized loop, with and without skipping, reproduces the
+// pre-optimization simulator cycle for cycle.
+func TestIdleSkipEquivalence(t *testing.T) {
+	cfgs := goldenConfigs(t)
+	for _, name := range []string{"itesp", "vault+llc", "syn128iso"} {
+		cfg, ok := cfgs[name]
+		if !ok {
+			t.Fatalf("missing golden config %q", name)
+		}
+		fast, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cfg.DisableIdleSkip = true
+		slow, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s (no skip): %v", name, err)
+		}
+		fs, ss := fast.Summarize(), slow.Summarize()
+		if fs.Cycles != ss.Cycles {
+			t.Errorf("%s: Cycles skip=%d noskip=%d", name, fs.Cycles, ss.Cycles)
+		}
+		if !reflect.DeepEqual(fs, ss) {
+			t.Errorf("%s: summaries diverge with idle skip\n skip: %+v\nnoskip: %+v", name, fs, ss)
+		}
+	}
+}

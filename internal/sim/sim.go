@@ -65,6 +65,11 @@ type Config struct {
 	LLCMBPerCore int
 	// StrictVerify disables speculative verification.
 	StrictVerify bool
+	// DisableIdleSkip forces the straight-line tick-by-tick loop, never
+	// fast-forwarding through idle periods. Results are bit-identical with
+	// and without skipping (the golden equivalence test asserts this); the
+	// knob exists for that comparison and for debugging.
+	DisableIdleSkip bool
 	// CPU overrides the core pipeline; zero value uses Table III.
 	CPU cpu.Config
 
@@ -353,17 +358,10 @@ func Run(cfg Config) (*Result, error) {
 	var cpuCycle uint64
 	attachObs(cfg, engine, dmem, cores, filters, &cpuCycle)
 
-	tokenOwner := make(map[uint64]int)
-	issue := func(coreID int, rec trace.Record) (uint64, bool, error) {
-		token, accepted, err := engine.Access(coreID, rec)
-		if err != nil {
-			return 0, false, err
-		}
-		if accepted && token != 0 {
-			tokenOwner[token] = coreID
-		}
-		return token, accepted, err
-	}
+	// Tokens encode their issuing core in the low bits (core.TokenCore), so
+	// completion routing needs no token-to-owner map and the issue path is
+	// the engine's Access method unwrapped.
+	issue := engine.Access
 
 	// Observability bookkeeping: all nil/zero (and therefore skipped by
 	// one predictable branch per DRAM tick) unless cfg.Obs enables them.
@@ -387,7 +385,8 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	idleTicks := 0
+	var wd drainWatchdog
+	var tokenBuf []uint64
 	for {
 		allDone := true
 		for _, c := range cores {
@@ -400,20 +399,29 @@ func Run(cfg Config) (*Result, error) {
 			break
 		}
 		progressed := false
-		for _, tok := range engine.Tick() {
-			if owner, ok := tokenOwner[tok]; ok {
-				cores[owner].OnComplete(tok)
-				delete(tokenOwner, tok)
-				progressed = true
-			}
+		tokens, engActive := engine.Tick(tokenBuf[:0])
+		tokenBuf = tokens[:0]
+		for _, tok := range tokens {
+			cores[core.TokenCore(tok)].OnComplete(tok)
+			progressed = true
 		}
+		coresActive := false
 		for i := 0; i < cpuPerDRAM; i++ {
 			cpuCycle++
 			for _, c := range cores {
+				// A core blocked on memory cannot unblock within the burst
+				// (completions are delivered only before it), so its Cycle
+				// reduces to charging the stall cycle.
+				if c.Blocked() {
+					c.StallTick()
+					continue
+				}
 				before := c.Retired()
-				if err := c.Cycle(cpuCycle, issue); err != nil {
+				active, err := c.Cycle(cpuCycle, issue)
+				if err != nil {
 					return nil, err
 				}
+				coresActive = coresActive || active
 				if c.Retired() != before {
 					progressed = true
 				}
@@ -428,19 +436,53 @@ func Run(cfg Config) (*Result, error) {
 				return obs.ProgressStat{CPUCycles: cpuCycle, OpsDone: opsDone(), OpsTarget: opsTarget}
 			})
 		}
-		if progressed {
-			idleTicks = 0
-		} else if allDone {
-			// Draining residual writes; refresh-bound, give it time.
-			idleTicks++
-			if idleTicks > 2_000_000 {
-				return nil, fmt.Errorf("sim: drain did not converge")
+		if err := wd.observe(progressed, 1, allDone, cpuCycle, engine.Pending()); err != nil {
+			return nil, err
+		}
+
+		// Idle fast-forward: this iteration delivered nothing, issued
+		// nothing, and changed no core state, so every following iteration
+		// repeats it exactly — except for stall/bus-busy counters and epoch
+		// boundaries, which advance arithmetically — until the next DRAM
+		// event. Skip to it in bulk (chunked at epoch boundaries so Series
+		// samples fire at identical cpuCycle values).
+		if cfg.DisableIdleSkip || engActive || coresActive || len(tokens) > 0 {
+			continue
+		}
+		next := dmem.NextEvent()
+		if next == ^uint64(0) {
+			continue
+		}
+		for skip := next - dmem.Now(); skip > 0; {
+			chunk := skip
+			if series != nil {
+				need := uint64(1)
+				if nextEpoch > cpuCycle {
+					need = (nextEpoch - cpuCycle + uint64(cpuPerDRAM) - 1) / uint64(cpuPerDRAM)
+				}
+				if need < chunk {
+					chunk = need
+				}
 			}
-		} else {
-			idleTicks++
-			if idleTicks > 4_000_000 {
-				return nil, fmt.Errorf("sim: deadlock at cycle %d (pending=%d)", cpuCycle, engine.Pending())
+			dmem.SkipTo(dmem.Now() + chunk)
+			cc := chunk * uint64(cpuPerDRAM)
+			cpuCycle += cc
+			for _, c := range cores {
+				c.AddIdleCycles(cc)
 			}
+			if series != nil && cpuCycle >= nextEpoch {
+				series.Sample(cpuCycle)
+				nextEpoch += series.Interval()
+			}
+			if err := wd.observe(false, chunk, allDone, cpuCycle, engine.Pending()); err != nil {
+				return nil, err
+			}
+			skip -= chunk
+		}
+		if prog != nil {
+			prog.Maybe(func() obs.ProgressStat {
+				return obs.ProgressStat{CPUCycles: cpuCycle, OpsDone: opsDone(), OpsTarget: opsTarget}
+			})
 		}
 	}
 

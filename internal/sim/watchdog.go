@@ -1,0 +1,43 @@
+package sim
+
+import "fmt"
+
+// Watchdog limits, in simulated DRAM cycles without forward progress
+// (a delivered read completion or a retired instruction). Residual-write
+// drain after all cores finish is refresh-bound and gets a tighter budget
+// than the general deadlock guard.
+const (
+	drainLimit    = 2_000_000
+	deadlockLimit = 4_000_000
+)
+
+// drainWatchdog detects a wedged simulation. It counts consecutive
+// no-progress DRAM cycles; under idle fast-forward the skipped cycles are
+// charged in bulk, so the guard measures simulated time, not loop
+// iterations — a fast-forwarded run trips it at the same simulated cycle a
+// straight-line run would.
+type drainWatchdog struct {
+	idle uint64
+}
+
+// observe records that `cycles` simulated DRAM cycles elapsed with
+// (progressed=true) or without (progressed=false) forward progress, and
+// returns an error when the no-progress budget is exhausted.
+func (w *drainWatchdog) observe(progressed bool, cycles uint64, allDone bool, cpuCycle uint64, pending int) error {
+	if progressed {
+		w.idle = 0
+		return nil
+	}
+	w.idle += cycles
+	if allDone {
+		// Draining residual writes; refresh-bound, give it time.
+		if w.idle > drainLimit {
+			return fmt.Errorf("sim: drain did not converge")
+		}
+		return nil
+	}
+	if w.idle > deadlockLimit {
+		return fmt.Errorf("sim: deadlock at cycle %d (pending=%d)", cpuCycle, pending)
+	}
+	return nil
+}

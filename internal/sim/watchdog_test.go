@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWatchdogDrainConvergence(t *testing.T) {
+	var w drainWatchdog
+	// Progress resets the budget.
+	if err := w.observe(false, drainLimit, true, 0, 0); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := w.observe(true, 1, true, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w.idle != 0 {
+		t.Fatal("progress must reset the idle count")
+	}
+	// One cycle past the drain budget fails with the drain error.
+	if err := w.observe(false, drainLimit, true, 0, 0); err != nil {
+		t.Fatalf("at budget: %v", err)
+	}
+	err := w.observe(false, 1, true, 123, 0)
+	if err == nil || !strings.Contains(err.Error(), "drain did not converge") {
+		t.Fatalf("want drain-convergence error, got %v", err)
+	}
+}
+
+func TestWatchdogDeadlock(t *testing.T) {
+	var w drainWatchdog
+	// The deadlock budget is larger than the drain budget and reports the
+	// stuck cycle and pending count.
+	if err := w.observe(false, deadlockLimit, false, 0, 0); err != nil {
+		t.Fatalf("at budget: %v", err)
+	}
+	err := w.observe(false, 1, false, 42, 7)
+	if err == nil || !strings.Contains(err.Error(), "deadlock at cycle 42 (pending=7)") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+// TestWatchdogCountsSimulatedCycles is the fast-forward regression: a bulk
+// skip of N cycles must consume exactly N cycles of budget, the same as N
+// tick-by-tick observations.
+func TestWatchdogCountsSimulatedCycles(t *testing.T) {
+	var bulk, stepped drainWatchdog
+	if err := bulk.observe(false, 1_500_000, true, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1_500_000; i++ {
+		if err := stepped.observe(false, 1, true, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.idle != stepped.idle {
+		t.Fatalf("bulk idle %d != stepped idle %d", bulk.idle, stepped.idle)
+	}
+	// Both trip on the same additional cycle count.
+	if err := bulk.observe(false, drainLimit-1_500_000, true, 0, 0); err != nil {
+		t.Fatalf("bulk at limit: %v", err)
+	}
+	if err := bulk.observe(false, 1, true, 0, 0); err == nil {
+		t.Fatal("bulk watchdog did not trip past the limit")
+	}
+}
