@@ -26,6 +26,7 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure number to regenerate (2,3,5,8,9,10,11,12,13,15)")
 	table := flag.Int("table", 0, "table number to regenerate (1,2)")
+	table2Timing := flag.Bool("table2-timing", false, "run the Table II timing-domain fault-injection campaign (Synergy vs ITESP DUE ordering)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation studies")
 	ops := flag.Uint64("ops", 50_000, "memory operations per core")
@@ -179,6 +180,10 @@ func main() {
 		}
 	case *ablations:
 		err = experiments.Ablations(o)
+	case *table2Timing:
+		var v *experiments.Table2TimingResult
+		v, err = experiments.Table2Timing(o)
+		record("table2_timing", v)
 	case *fig != 0:
 		err = runFig(*fig)
 	case *table != 0:

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -60,6 +61,7 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	specPath := flag.String("spec", "", "load the run spec from this JSON file instead of the knob flags (\"-\" reads stdin)")
 	resultJSON := flag.String("result-json", "", "write the run's spec, content hash, and summary (a runner cache entry) to this file")
+	faults := flag.String("faults", "", "fault-injection campaign, e.g. n=16,kind=chip,seed=7,span=4096,scrub=100 (see README \"Reliability & fault injection\")")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -90,6 +92,14 @@ func main() {
 			DDR4:          *ddr4,
 			FilterLLC:     *llcFilter,
 		}
+	}
+	if *faults != "" {
+		fc, err := fault.ParseFlag(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sp.Faults = &fc
 	}
 	hash, err := sp.Hash()
 	if err != nil {
@@ -203,6 +213,15 @@ func main() {
 		rd, wr := st.KindPerOp(k)
 		if rd+wr > 0 {
 			fmt.Printf("  %-8s reads/op=%.3f writes/op=%.3f\n", k, rd, wr)
+		}
+	}
+	if fs := r.Faults; fs != nil {
+		fmt.Printf("fault campaign:     injected=%d detected=%d corrected=%d (demand %d, scrub %d) due=%d sdc=%d latent=%d\n",
+			fs.Injected, fs.Detected, fs.Corrected(), fs.CorrectedDemand, fs.CorrectedScrub, fs.DUE, fs.SDC, fs.Latent)
+		fmt.Printf("  scrub reads=%d correction reads=%d fix writes=%d mean detect=%.0f cyc mean repair=%.0f cyc\n",
+			fs.ScrubReads, fs.CorrectionReads, fs.FixWrites, fs.MeanDetect, fs.MeanRepair)
+		if err := fs.CheckInvariant(); err != nil {
+			fmt.Fprintln(os.Stderr, "warning:", err)
 		}
 	}
 	if ob != nil && ob.Trace != nil && ob.Trace.Dropped() > 0 {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/dram"
 	"repro/internal/enclave"
+	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -86,6 +87,10 @@ type Engine struct {
 	// hook and allocates nothing.
 	tr       *obs.Tracer
 	trTracks []obs.TrackID
+
+	// faults, when non-nil, is the fault-injection campaign controller
+	// (see faults.go); nil for every fault-free run.
+	faults *fault.Controller
 
 	Stats Stats
 }
@@ -310,8 +315,15 @@ func (e *Engine) OverflowPenaltyCycles() uint64 {
 // Backpressured reports whether Access would currently be rejected.
 func (e *Engine) Backpressured() bool { return e.spillLen >= e.cfg.SpillLimit }
 
-// Pending reports in-flight work (spill + DRAM queues).
-func (e *Engine) Pending() int { return e.spillLen + e.mem.Pending() }
+// Pending reports in-flight work (spill + DRAM queues + unresolved fault
+// corrections), so the simulation drains every repair before finishing.
+func (e *Engine) Pending() int {
+	n := e.spillLen + e.mem.Pending()
+	if e.faults != nil {
+		n += e.faults.Outstanding()
+	}
+	return n
+}
 
 // Access presents one LLC-level data operation from a core. For reads it
 // returns a non-zero token delivered by Tick when the read completes.
@@ -600,11 +612,18 @@ func (e *Engine) Tick(buf []uint64) (tokens []uint64, active bool) {
 		e.spillLen--
 		active = true
 	}
+	if e.faults != nil && e.faultTick() {
+		active = true
+	}
 	done, memActive := e.mem.Tick(e.doneBuf[:0])
 	e.doneBuf = done[:0]
 	tokens = buf
 	for _, txn := range done {
-		if gid := txn.GroupID; gid != 0 {
+		if gid := txn.GroupID; gid&faultGIDBit != 0 {
+			e.onFaultDone(txn)
+			e.txnPool = append(e.txnPool, txn)
+			continue
+		} else if gid != 0 {
 			g := &e.groups[gid-1]
 			g.remaining--
 			if g.remaining == 0 {
@@ -616,7 +635,15 @@ func (e *Engine) Tick(buf []uint64) (tokens []uint64, active bool) {
 				e.freeGroups = append(e.freeGroups, gid)
 			}
 		}
+		if e.faults != nil && txn.Op.Kind == mem.KindData && txn.Op.Type == mem.Read {
+			e.faults.OnDataRead(txn.Op.Addr.Block(), e.mem.Now())
+		}
 		e.txnPool = append(e.txnPool, txn)
+	}
+	// Correction chains started by the completions above issue their
+	// reads this same cycle.
+	if e.faults != nil && e.drainFaultReqs() {
+		active = true
 	}
 	return tokens, active || memActive
 }

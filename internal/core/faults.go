@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/dram"
+	"repro/internal/fault"
+	"repro/internal/mem"
+	"repro/internal/parity"
+)
+
+// faultGIDBit marks a transaction as belonging to the fault subsystem
+// (scrub, correction, or repair write-back); the low 31 bits carry the
+// correction ID. Demand access groups live in a slab far below this bit, so
+// the two GroupID namespaces never collide.
+const faultGIDBit uint32 = 1 << 31
+
+// AttachFaults connects a fault-injection campaign controller to the
+// engine. Call before the first Tick. A nil-controller engine (every
+// fault-free run) takes exactly one predictable branch per tick and is
+// bit-identical to builds without the fault subsystem.
+func (e *Engine) AttachFaults(ctl *fault.Controller) { e.faults = ctl }
+
+// Faults returns the attached campaign controller, nil when none.
+func (e *Engine) Faults() *fault.Controller { return e.faults }
+
+// ParityLayout exposes the parity share-group geometry (zero value when
+// the scheme has none).
+func (e *Engine) ParityLayout() parity.Layout { return e.layout }
+
+// CanDetectFaults reports whether the scheme carries MACs that flag
+// corrupted fetches (every secure scheme; MAC-in-ECC or separate region).
+func (e *Engine) CanDetectFaults() bool { return e.scheme.Secure }
+
+// CanCorrectFaults reports whether the scheme has correction parity.
+func (e *Engine) CanCorrectFaults() bool {
+	return e.scheme.Secure && e.scheme.Parity != ParityNone
+}
+
+// FaultNextWake returns the next DRAM cycle the fault campaign must act
+// at, for the simulator's idle fast-forward clamp (^uint64(0) when idle or
+// no campaign is attached).
+func (e *Engine) FaultNextWake() uint64 {
+	if e.faults == nil {
+		return ^uint64(0)
+	}
+	return e.faults.NextWake()
+}
+
+// QuiesceFaults stops injections and scrubbing so a finished run can
+// drain; in-flight corrections still resolve. Idempotent, nil-safe.
+func (e *Engine) QuiesceFaults() {
+	if e.faults != nil {
+		e.faults.Quiesce()
+	}
+}
+
+// faultQueueLen reports the read-queue depth behind a data block's channel
+// (the controller's scrub low-priority gate).
+func (e *Engine) faultQueueLen(block uint64) int {
+	return e.mem.QueueLen(e.cfg.Policy.Map(block).Channel, mem.Read)
+}
+
+// faultTick runs the campaign for this DRAM cycle: injection events and
+// scrub scheduling, then issue of every transaction the controller
+// requested. Correction chains started by completions later in the same
+// Tick are drained by a second drainFaultReqs call there.
+func (e *Engine) faultTick() bool {
+	active := e.faults.Advance(e.mem.Now(), e.faultQueueLen)
+	return e.drainFaultReqs() || active
+}
+
+// drainFaultReqs turns the controller's pending requests into real DRAM
+// transactions. Fault traffic bypasses Engine.Stats (it is accounted in
+// fault.Stats instead, keeping the paper's per-scheme traffic metrics
+// clean) but shares queues, scheduling, and banks with everything else —
+// that contention is the point of timing-domain injection.
+func (e *Engine) drainFaultReqs() bool {
+	reqs := e.faults.TakeReqs()
+	for _, q := range reqs {
+		addr := mem.PhysAddr(q.Block * mem.BlockSize)
+		op := mem.Op{Addr: addr, Type: mem.Read, Kind: mem.KindData, Enclave: mem.NoEnclave}
+		switch q.Class {
+		case fault.ClassScrub:
+			// gid carries only the fault bit: corrID 0 means scrub.
+		case fault.ClassSibling:
+		case fault.ClassParity:
+			op.Addr = e.faultParityAddr(q.Block)
+			op.Kind = mem.KindParity
+		case fault.ClassFixWrite:
+			op.Type = mem.Write
+		}
+		txn := e.newTxn()
+		*txn = dram.Txn{
+			Op:      op,
+			Loc:     e.cfg.Policy.Map(op.Addr.Block()),
+			GroupID: faultGIDBit | q.CorrID,
+		}
+		e.push(txn)
+	}
+	return len(reqs) > 0
+}
+
+// faultParityAddr resolves where the parity protecting a data block lives:
+// the standalone parity region for Synergy/shared parity, or the covering
+// integrity-tree leaf for the embedded (ITESP) organization. Under
+// isolation the tree is picked by block residue — an approximation of the
+// enclave-local mapping that preserves the metadata-region locality the
+// timing model cares about.
+func (e *Engine) faultParityAddr(block uint64) mem.PhysAddr {
+	switch e.scheme.Parity {
+	case ParityPerBlock, ParityShared:
+		return e.layout.BlockAddr(block)
+	case ParityEmbedded:
+		t := e.trees[int(block%uint64(len(e.trees)))]
+		return t.LeafAddr(block)
+	}
+	return 0 // unreachable: corrections start only when CanCorrectFaults
+}
+
+// onFaultDone routes a completed fault-subsystem transaction back to the
+// controller. Repair write-backs complete silently.
+func (e *Engine) onFaultDone(txn *dram.Txn) {
+	if txn.Op.Type == mem.Write {
+		return
+	}
+	now := e.mem.Now()
+	if corrID := txn.GroupID &^ faultGIDBit; corrID != 0 {
+		e.faults.OnCorrectionRead(corrID, now)
+	} else {
+		e.faults.OnScrubRead(txn.Op.Addr.Block(), now)
+	}
+}

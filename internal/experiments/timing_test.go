@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestTable2TimingOrdering runs the reduced-scale timing-domain campaign
+// and checks the paper's Table II reliability contrast emerges from the
+// simulated pipeline: shared parity (ITESP) exposes strictly more Case-4
+// DUEs than per-block parity (Synergy), while both schemes detect and
+// repair the bulk of the injected chip faults.
+func TestTable2TimingOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := Table2Timing(Options{OpsPerCore: 8000, W: io.Discard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OrderingOK {
+		t.Errorf("ITESP should see more DUEs than Synergy: itesp=%d synergy=%d",
+			res.ITESP.DUE, res.Synergy.DUE)
+	}
+	for _, row := range []Table2TimingRow{res.Synergy, res.ITESP} {
+		if row.Detected == 0 || row.Corrected == 0 {
+			t.Errorf("%s: campaign detected/corrected nothing: %+v", row.Scheme, row)
+		}
+		if row.SDC != 0 {
+			t.Errorf("%s: 64-bit MAC verification let a miscorrection through: %+v", row.Scheme, row)
+		}
+	}
+	// Correction cost is structural: every detection triggers a full
+	// share-group read-out — 16 transactions under ITESP's shared parity,
+	// one (the parity block itself) under Synergy's per-block parity.
+	if got, want := res.ITESP.CorrectionReads, 16*res.ITESP.Detected; got != want {
+		t.Errorf("itesp correction reads = %d, want 16 per detection = %d", got, want)
+	}
+	if got, want := res.Synergy.CorrectionReads, res.Synergy.Detected; got != want {
+		t.Errorf("synergy correction reads = %d, want 1 per detection = %d", got, want)
+	}
+	if res.AnalyticDUERatio <= 1 {
+		t.Errorf("analytic Case-4 ratio should favor Synergy: %f", res.AnalyticDUERatio)
+	}
+}

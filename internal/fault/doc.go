@@ -1,0 +1,28 @@
+// Package fault is the timing-domain fault-injection campaign layer: it
+// plants device faults (bit, pin, chip, double-chip, rank) into a
+// functional image of simulated DRAM at pre-scheduled cycles and drives the
+// full detect→correct→scrub pipeline through the cycle-accurate engine.
+//
+// The package closes the gap between the paper's Table II reliability
+// analysis (internal/reliability, purely analytic rates plus an
+// accelerated-lifetime Monte Carlo) and the cycle-accurate simulator: here
+// a fault is detected only when a demand or scrub read actually fetches the
+// corrupted block and its MAC fails (Section III-F detection), correction
+// is the Synergy chip-hypothesis walk of internal/parity run over the share
+// group — whose sibling and parity reads are issued as real DRAM
+// transactions with real latencies (Section III-C/III-D) — and background
+// scrubbing is modeled as low-priority reads that defer to demand traffic.
+// Concurrent faults in one share group therefore produce Table II Case 4
+// DUEs *emergently*, from timing overlap, rather than by closed-form rate
+// arithmetic.
+//
+// Layering: the Controller knows parity group geometry (parity.Layout) and
+// functional block contents, but nothing about DRAM addressing or timing.
+// The security engine (internal/core) drives it once per DRAM cycle,
+// translates its transaction requests (Req) into real reads/writes, and
+// reports completions back. The campaign is fully deterministic: a
+// SplitMix64 stream seeded by Config.Seed fixes the event schedule, victim
+// blocks, corrupted chips/bits, and the pristine functional contents, so a
+// (sim.Config, fault.Config) pair names a bit-reproducible run — the
+// property the runspec content hash and the result cache rely on.
+package fault

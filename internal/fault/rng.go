@@ -1,0 +1,19 @@
+package fault
+
+// rng is a SplitMix64 generator. The campaign does not use math/rand so the
+// schedule and functional block contents are pinned by this file alone —
+// determinism of every run, across Go versions, reduces to determinism of
+// these few lines.
+type rng struct{ s uint64 }
+
+func newRNG(seed int64) rng {
+	return rng{s: uint64(seed)*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -14,6 +14,7 @@ import (
 const (
 	PidCores    = 1
 	PidChannels = 2
+	PidFaults   = 3
 )
 
 // TrackID identifies a registered track (a Perfetto thread lane).

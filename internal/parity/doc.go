@@ -1,0 +1,30 @@
+// Package parity implements Synergy-style chipkill error-correction parity
+// and the paper's shared-parity extension (Section III-C/III-D).
+//
+// In Synergy, a 64-bit parity field protects one 64-byte data block: the
+// block is striped across the 8 data chips of a ×8 rank (8 pins × 8 beats
+// per chip), and parity bit (beat, pin) is the XOR of that pin/beat position
+// across all chips. When the MAC flags an error, correction (Correct) walks
+// every chip-failure hypothesis, reconstructs the block assuming that chip
+// failed, and accepts the reconstruction whose MAC matches — the MAC-guided
+// correction the paper inherits from Synergy. An ambiguous walk (no
+// hypothesis verifies, or the survivors disagree) is a detected
+// uncorrectable error.
+//
+// The paper shares one parity field across N blocks placed in different
+// ranks (Section III-C): parity = XOR of the per-block parities, shrinking
+// parity storage N×. Correction then reads the other N−1 group members and
+// assumes them error-free, which fails only under concurrent independent
+// multi-chip errors — Table II Case 4, the scheme's only reliability
+// degradation. Layout maps a data block to its shared-parity field and
+// share-group members (FieldIndex, GroupMembers) and places the standalone
+// parity region (BlockAddr); x16.go doubles the field width for ×16 chips
+// (Table I's 25% overhead row).
+//
+// Consumers: internal/core charges the bandwidth cost of parity maintenance
+// (per-block writes, shared-parity read-modify-writes);
+// internal/reliability derives Table II's analytic rates from these
+// mechanisms and Monte-Carlo-exercises Correct on the functional bit-level
+// path; internal/fault replays detection and group read-out correction as
+// real DRAM transactions in the timing domain.
+package parity

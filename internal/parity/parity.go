@@ -1,17 +1,3 @@
-// Package parity implements Synergy-style chipkill error-correction parity
-// and the paper's shared-parity extension (Section III-C/III-D).
-//
-// In Synergy, a 64-bit parity field protects one 64-byte data block: the
-// block is striped across the 8 data chips of a ×8 rank (8 pins × 8 beats
-// per chip), and parity bit (beat, pin) is the XOR of that pin/beat position
-// across all chips. When the MAC flags an error, correction walks every
-// chip-failure hypothesis, reconstructs the block assuming that chip failed,
-// and accepts the reconstruction whose MAC matches.
-//
-// The paper shares one parity field across N blocks placed in different
-// ranks: parity = XOR of the per-block parities. Correction then assumes the
-// other N-1 blocks are error-free, which fails only under concurrent
-// independent multi-chip errors (the Table II reliability analysis).
 package parity
 
 import (

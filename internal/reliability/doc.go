@@ -1,0 +1,27 @@
+// Package reliability reproduces the paper's Section III-G analysis: the
+// analytic SDC (silent data corruption) and DUE (detected uncorrectable
+// error) rates of Table II for Synergy and ITESP, plus two measurement
+// harnesses that validate the mechanisms behind the closed forms.
+//
+// The analytic model (Synergy, ITESP over Params) follows the paper's
+// four cases: Case 1, an error pattern aliasing the MAC (SDC ∝ 2^−MACBits);
+// Case 2, a miscorrection that verifies (SDC); Case 3, an ambiguous
+// chip-hypothesis walk (DUE); Case 4, concurrent independent multi-chip
+// errors within one scrub window (DUE) — the only case where ITESP's
+// shared parity is weaker than Synergy's per-block parity, scaled by the
+// (Devices−1)/(RankDevices−1) exposure of a 16-block share group.
+//
+// Inject Monte-Carlo-exercises the functional bit-level correction path
+// (internal/parity.Correct under real internal/mac MACs) for each case's
+// fault pattern; SimulateLifetime runs an event-driven, acceleration-scaled
+// lifetime simulation with Poisson error arrivals and periodic scrubbing
+// that measures the Synergy-vs-ITESP Case-4 exposure ratio instead of only
+// computing it.
+//
+// This package works in probability space with no notion of time beyond
+// the scrub window. Its timing-domain counterpart is internal/fault, which
+// plants the same fault classes into the cycle-accurate simulator and
+// measures detection latency, correction bandwidth, and emergent Case-4
+// DUEs through the full detect→correct→scrub pipeline
+// (cmd/experiments -table2-timing).
+package reliability

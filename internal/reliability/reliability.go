@@ -1,8 +1,3 @@
-// Package reliability reproduces the paper's Section III-G analysis: the
-// analytic SDC (silent data corruption) and DUE (detected uncorrectable
-// error) rates of Table II for Synergy and ITESP, plus a Monte-Carlo
-// fault-injection harness that exercises the functional MAC-guided chipkill
-// correction path to validate the mechanisms behind the analytic cases.
 package reliability
 
 import (

@@ -1,0 +1,118 @@
+package runspec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// TestFaultHashStability pins the campaign hashing contract: absent,
+// nil-pointer, disabled, and explicit-default fault configs all hash like
+// the pre-campaign spec, so every existing cache entry stays addressable.
+func TestFaultHashStability(t *testing.T) {
+	base := Spec{Scheme: "itesp", Benchmark: "mcf", Cores: 4}
+	h := mustHash(t, base)
+	for name, f := range map[string]*fault.Config{
+		"nil":                 nil,
+		"disabled":            {},
+		"disabled-with-knobs": {Kind: "rank", SpanBlocks: 99},
+		"explicit-defaults": {
+			N: 0, Kind: "chip", Target: "span", StartCycle: 10_000,
+			Interval: 20_000, SpanBlocks: 4096, ScrubInterval: 200, ScrubQueueMax: 8,
+		},
+	} {
+		s := base
+		s.Faults = f
+		if mustHash(t, s) != h {
+			t.Errorf("%s fault config changed the hash", name)
+		}
+	}
+	// An enabled campaign with defaulted knobs hashes like one with the
+	// same defaults made explicit.
+	a, b := base, base
+	a.Faults = &fault.Config{N: 16}
+	b.Faults = &fault.Config{N: 16, Kind: "chip", Target: "span", ScrubInterval: 200}
+	if mustHash(t, a) != mustHash(t, b) {
+		t.Error("explicit fault defaults should hash like unset knobs")
+	}
+	if mustHash(t, a) == h {
+		t.Error("enabling the campaign must change the hash")
+	}
+}
+
+// TestFaultHashChangesOnEveryKnob extends the knob-sensitivity sweep to
+// the campaign parameters.
+func TestFaultHashChangesOnEveryKnob(t *testing.T) {
+	base := Spec{Scheme: "itesp", Benchmark: "mcf", Cores: 4,
+		Faults: &fault.Config{N: 16, Seed: 3}}
+	mutations := map[string]func(*fault.Config){
+		"n":        func(f *fault.Config) { f.N = 32 },
+		"kind":     func(f *fault.Config) { f.Kind = "rank" },
+		"target":   func(f *fault.Config) { f.Target = "hot" },
+		"seed":     func(f *fault.Config) { f.Seed = 4 },
+		"start":    func(f *fault.Config) { f.StartCycle = 99 },
+		"interval": func(f *fault.Config) { f.Interval = 99 },
+		"span":     func(f *fault.Config) { f.SpanBlocks = 99 },
+		"scrub":    func(f *fault.Config) { f.ScrubInterval = 99 },
+		"noscrub":  func(f *fault.Config) { f.DisableScrub = true },
+		"qmax":     func(f *fault.Config) { f.ScrubQueueMax = 99 },
+	}
+	seen := map[string]string{mustHash(t, base): "base"}
+	for name, mutate := range mutations {
+		s := base
+		f := *base.Faults
+		mutate(&f)
+		s.Faults = &f
+		h := mustHash(t, s)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s: hash collides with %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+// TestFaultSimConfigRoundTrip checks Spec→sim.Config→Spec preserves the
+// campaign, and that a disabled campaign disappears on capture.
+func TestFaultSimConfigRoundTrip(t *testing.T) {
+	s := Spec{Scheme: "synergy", Benchmark: "mcf", Cores: 2,
+		Faults: &fault.Config{N: 8, Kind: "chip2", Seed: 5, SpanBlocks: 512}}
+	cfg, err := s.SimConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Faults.Enabled() || cfg.Faults != *s.Faults {
+		t.Fatalf("SimConfig dropped the campaign: %+v", cfg.Faults)
+	}
+	back, err := FromSimConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults == nil || !reflect.DeepEqual(*back.Faults, *s.Faults) {
+		t.Fatalf("FromSimConfig round trip changed the campaign: %+v", back.Faults)
+	}
+
+	bench, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = fault.Config{}
+	cfg.Benchmark = bench
+	back, err = FromSimConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Faults != nil {
+		t.Errorf("disabled campaign captured as %+v, want nil", back.Faults)
+	}
+}
+
+// TestFaultValidate rejects malformed campaigns at the spec layer.
+func TestFaultValidate(t *testing.T) {
+	s := Spec{Scheme: "itesp", Benchmark: "mcf", Cores: 4,
+		Faults: &fault.Config{N: 4, Kind: "bogus"}}
+	if err := s.Validate(); err == nil {
+		t.Error("invalid fault kind passed spec validation")
+	}
+}

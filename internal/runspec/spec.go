@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -62,6 +63,10 @@ type Spec struct {
 	// SchemeOverride carries an explicit scheme instead of a name — the
 	// ablation studies tweak individual scheme knobs this way.
 	SchemeOverride *core.Scheme `json:"scheme_override,omitempty"`
+	// Faults configures the deterministic fault-injection campaign; nil
+	// (or a disabled config) means no faults, and stays out of the
+	// canonical JSON so pre-campaign hashes remain stable.
+	Faults *fault.Config `json:"faults,omitempty"`
 }
 
 // Normalized returns a copy with the simulator's defaulting rules applied,
@@ -93,6 +98,13 @@ func (s Spec) Normalized() Spec {
 	if n.ROBSize <= 0 || n.RetireWidth <= 0 ||
 		(n.ROBSize == def.ROBSize && n.RetireWidth == def.Width) {
 		n.ROBSize, n.RetireWidth = 0, 0
+	}
+	if n.Faults != nil {
+		if f := n.Faults.Normalized(); f.Enabled() {
+			n.Faults = &f
+		} else {
+			n.Faults = nil
+		}
 	}
 	return n
 }
@@ -147,6 +159,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("runspec: %w", err)
 		}
 	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return fmt.Errorf("runspec: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -177,7 +194,16 @@ func (s Spec) SimConfig() (sim.Config, error) {
 		StrictVerify:  s.StrictVerify,
 		CPU:           cpu.Config{ROBSize: s.ROBSize, Width: s.RetireWidth},
 		Scheme:        s.SchemeOverride,
+		Faults:        faultsOf(s.Faults),
 	}, nil
+}
+
+// faultsOf unwraps the optional campaign config.
+func faultsOf(f *fault.Config) fault.Config {
+	if f == nil {
+		return fault.Config{}
+	}
+	return *f
 }
 
 // FromSimConfig captures a sim.Config as a spec. Configs with explicit
@@ -198,6 +224,11 @@ func FromSimConfig(cfg sim.Config) (Spec, error) {
 	if reg != cfg.Benchmark {
 		return Spec{}, fmt.Errorf("runspec: benchmark %q differs from its registry entry", cfg.Benchmark.Name)
 	}
+	var faults *fault.Config
+	if cfg.Faults.Enabled() {
+		f := cfg.Faults
+		faults = &f
+	}
 	return Spec{
 		Scheme:         cfg.SchemeName,
 		Benchmark:      cfg.Benchmark.Name,
@@ -217,5 +248,6 @@ func FromSimConfig(cfg sim.Config) (Spec, error) {
 		ROBSize:        cfg.CPU.ROBSize,
 		RetireWidth:    cfg.CPU.Width,
 		SchemeOverride: cfg.Scheme,
+		Faults:         faults,
 	}, nil
 }

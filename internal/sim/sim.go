@@ -14,6 +14,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/enclave"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/llc"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -70,6 +71,10 @@ type Config struct {
 	// and without skipping (the golden equivalence test asserts this); the
 	// knob exists for that comparison and for debugging.
 	DisableIdleSkip bool
+	// Faults configures the deterministic fault-injection campaign. The
+	// zero value disables it entirely, leaving the run bit-identical to a
+	// simulator without the fault subsystem.
+	Faults fault.Config
 	// CPU overrides the core pipeline; zero value uses Table III.
 	CPU cpu.Config
 
@@ -106,6 +111,8 @@ type Result struct {
 	SystemEDP float64
 	// Overflows counts local-counter re-encryptions.
 	Overflows uint64
+	// Faults is the fault-campaign digest (nil when faults are disabled).
+	Faults *fault.Summary
 }
 
 // MetaPerOp returns metadata accesses per data operation (Fig 9 metric).
@@ -161,6 +168,13 @@ func attachObs(cfg Config, engine *core.Engine, dmem *dram.Memory, cores []*cpu.
 	}
 	engine.AttachObs(o.Registry, tr, coreTracks)
 	dmem.AttachObs(o.Registry, tr, chanTracks)
+	if f := engine.Faults(); f != nil {
+		if tr != nil {
+			tr.Process(obs.PidFaults, "fault campaign")
+			f.AttachTrace(tr, tr.NewTrack(obs.PidFaults, "faults"))
+		}
+		f.Register(o.Registry)
+	}
 
 	if reg := o.Registry; reg != nil {
 		for i, c := range cores {
@@ -333,6 +347,20 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	var fctl *fault.Controller
+	if cfg.Faults.Enabled() {
+		fctl, err = fault.NewController(cfg.Faults, fault.Env{
+			Layout:     engine.ParityLayout(),
+			Detect:     engine.CanDetectFaults(),
+			Correct:    engine.CanCorrectFaults(),
+			DataBlocks: dataPages * mem.BlocksPage,
+		})
+		if err != nil {
+			return nil, err
+		}
+		engine.AttachFaults(fctl)
+	}
+
 	cores := make([]*cpu.Core, cfg.Cores)
 	var filters []*llc.Filter
 	for i := range cores {
@@ -395,8 +423,13 @@ func Run(cfg Config) (*Result, error) {
 				break
 			}
 		}
-		if allDone && engine.Pending() == 0 {
-			break
+		if allDone {
+			// Stop injecting and scrubbing so the run can drain;
+			// in-flight corrections still resolve (Pending covers them).
+			engine.QuiesceFaults()
+			if engine.Pending() == 0 {
+				break
+			}
 		}
 		progressed := false
 		tokens, engActive := engine.Tick(tokenBuf[:0])
@@ -450,7 +483,12 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		next := dmem.NextEvent()
-		if next == ^uint64(0) {
+		if fw := engine.FaultNextWake(); fw < next {
+			// The fault campaign must act (injection or scrub) before the
+			// next DRAM event: clamp the skip so it fires on time.
+			next = fw
+		}
+		if next == ^uint64(0) || next <= dmem.Now() {
 			continue
 		}
 		for skip := next - dmem.Now(); skip > 0; {
@@ -509,6 +547,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.Overflows = engine.Overflows()
+	if fctl != nil {
+		fctl.Finalize(dmem.Now())
+		res.Faults = fctl.Summarize()
+	}
 	res.Cycles = maxFinish
 	if scheme.ModelOverflow {
 		res.Cycles += engine.OverflowPenaltyCycles() / uint64(cfg.Cores)

@@ -1,6 +1,9 @@
 package sim
 
-import "repro/internal/mem"
+import (
+	"repro/internal/fault"
+	"repro/internal/mem"
+)
 
 // KindTraffic is one metadata structure's traffic per data operation.
 type KindTraffic struct {
@@ -43,6 +46,10 @@ type Summary struct {
 	// PatternFrac is the fraction of data operations in each Figure 3
 	// case, indexed by core.PatternCase order.
 	PatternFrac []float64 `json:"pattern_frac"`
+	// Faults is the fault-campaign digest; nil (and omitted from the
+	// JSON, keeping pre-campaign goldens and cache entries stable) when
+	// fault injection was disabled.
+	Faults *fault.Summary `json:"faults,omitempty"`
 }
 
 // KindPerOp mirrors core.Stats.KindPerOp for summaries.
@@ -66,6 +73,7 @@ func (r *Result) Summarize() *Summary {
 		RowHitRate:       r.RowHitRate(),
 		MetaCacheHitRate: r.MetaCacheHitRate(),
 		Kinds:            map[string]KindTraffic{},
+		Faults:           r.Faults,
 	}
 	if mc := r.Engine.MetaCache(); mc != nil {
 		s.MetaMeanUse = mc.MeanUseIncludingResident()

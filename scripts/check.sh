@@ -1,11 +1,13 @@
 #!/bin/sh
-# Pre-commit gate: vet, build, race-checked tests for the packages with a
+# Pre-commit gate: docs-drift check (every cmd flag documented, no dead
+# markdown links), vet, build, race-checked tests for the packages with a
 # documented concurrency contract (internal/stats single-owner counters and
 # the internal/obs layer that snapshots them), then the full suite.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+sh scripts/docscheck.sh
 go vet ./...
 go build ./...
 go test -race ./internal/stats/... ./internal/obs/...

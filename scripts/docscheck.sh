@@ -1,0 +1,51 @@
+#!/bin/sh
+# Documentation-drift gate, run as part of scripts/check.sh:
+#
+#  1. Flag drift: every command-line flag defined in cmd/*/main.go must be
+#     mentioned as `-name` somewhere in README.md, so new knobs cannot ship
+#     undocumented.
+#  2. Link rot: every relative markdown link in the top-level docs must
+#     resolve to an existing file in the repository.
+#
+# POSIX sh + grep/sed only; no external link checker.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. every cmd flag appears in README.md -------------------------------
+for main in cmd/*/main.go; do
+    flags=$(grep -oE 'flag\.[A-Za-z0-9]+\("[^"]+"' "$main" | sed 's/.*("//; s/"$//' | sort -u)
+    for f in $flags; do
+        # Match -name with a non-flag character on both sides, so that
+        # documenting -trace-events does not count as documenting -trace.
+        if ! grep -qE "(^|[^A-Za-z0-9-])-$f([^A-Za-z0-9-]|$)" README.md; then
+            echo "docscheck: flag -$f (defined in $main) is not documented in README.md" >&2
+            fail=1
+        fi
+    done
+done
+
+# --- 2. relative markdown links resolve -----------------------------------
+for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md; do
+    [ -f "$doc" ] || continue
+    links=$(grep -oE '\]\([^)]+\)' "$doc" | sed 's/^](//; s/)$//' || true)
+    for link in $links; do
+        case "$link" in
+        http://* | https://* | mailto:* | "#"*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$target" ]; then
+            echo "docscheck: $doc links to missing path: $target" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docscheck: FAILED" >&2
+    exit 1
+fi
+echo "docscheck: OK"
