@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,7 +48,20 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the result cache even if -cache-dir or -resume is set")
 	resume := flag.Bool("resume", false, "resume an interrupted sweep: enable the cache (default .runcache) so only missing runs re-simulate")
 	keepGoing := flag.Bool("keep-going", false, "run every job of a batch even after failures instead of canceling the queued remainder")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock deadline (e.g. 5m); a wedged job is abandoned and counted timed out (0 = none)")
+	retries := flag.Int("retries", 0, "deterministic re-runs for panicked or timed-out jobs (spec errors are never retried)")
 	flag.Parse()
+
+	// A first SIGINT/SIGTERM cancels the sweep cooperatively: queued jobs
+	// are skipped while in-flight simulations drain into the cache and the
+	// sweep manifest is flushed. A second signal force-kills (stop restores
+	// the default handler once the context has fired).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 
 	if *resume && *cacheDir == "" {
 		*cacheDir = ".runcache"
@@ -71,6 +87,9 @@ func main() {
 		Parallel:    *parallel,
 		CacheDir:    *cacheDir,
 		KeepGoing:   *keepGoing,
+		Ctx:         ctx,
+		JobTimeout:  *jobTimeout,
+		Retries:     *retries,
 		RunnerStats: &runnerStats,
 		Obs: experiments.ObsOptions{
 			MetricsDir:    *metricsDir,
@@ -194,6 +213,18 @@ func main() {
 	}
 	if runnerStats.Jobs > 0 {
 		fmt.Fprintf(os.Stderr, "[runner: %s]\n", runnerStats)
+	}
+	if ctx.Err() != nil {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: in-flight jobs drained into %s (sweep manifest alongside)\n", *cacheDir)
+			fmt.Fprintf(os.Stderr, "rerun the same command with -cache-dir %s (or -resume) to continue without re-simulating completed jobs\n", *cacheDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "interrupted: no cache directory was set, so completed work was not persisted; next time add -cache-dir DIR or -resume to make the sweep resumable")
+		}
+		os.Exit(130)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

@@ -19,15 +19,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -158,15 +162,21 @@ func main() {
 		ob = obs.New(obCfg)
 	}
 
+	// SIGINT/SIGTERM cancels the run cooperatively through the simulator's
+	// context plumbing; the exit code then distinguishes an interrupt (130)
+	// from a wedged simulation (3) and other failures (1).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg.Sources = sources
 	cfg.Obs = ob
-	r, err := sim.Run(cfg)
+	r, err := sim.RunContext(ctx, cfg)
 	if *progress {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 	if err := writeArtifacts(ob, *metrics, *timeseries, *traceEvents); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -226,6 +236,24 @@ func main() {
 	}
 	if ob != nil && ob.Trace != nil && ob.Trace.Dropped() > 0 {
 		fmt.Fprintf(os.Stderr, "trace: ring wrapped, %d oldest events dropped (raise -trace-cap)\n", ob.Trace.Dropped())
+	}
+}
+
+// exitCode maps a simulation failure to the documented process exit code:
+// 130 (128+SIGINT) when the run was interrupted, 3 when the drain watchdog
+// caught a wedged simulation (sim.ErrDeadlock / sim.ErrDrainStall), and 1
+// for every other failure. Scripts can branch on the class without parsing
+// error text.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, sim.ErrCanceled):
+		return 130
+	case errors.Is(err, sim.ErrDeadlock), errors.Is(err, sim.ErrDrainStall):
+		return 3
+	default:
+		return 1
 	}
 }
 

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestExitCode pins the documented process exit codes for each error
+// class, including errors wrapped the way sim.RunContext and the runner
+// actually produce them.
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, 0},
+		{"deadlock", fmt.Errorf("%w at cycle 42 (pending=7)", sim.ErrDeadlock), 3},
+		{"drain stall", fmt.Errorf("%w after 2000001 idle cycles at cycle 9 (pending=1)", sim.ErrDrainStall), 3},
+		{"canceled", fmt.Errorf("%w at cycle 7: %w", sim.ErrCanceled, context.Canceled), 130},
+		{"deadline", fmt.Errorf("%w at cycle 7: %w", sim.ErrCanceled, context.DeadlineExceeded), 130},
+		{"joined deadlock", errors.Join(fmt.Errorf("mcf: %w", sim.ErrDeadlock)), 3},
+		{"spec error", errors.New("runspec: scheme is required"), 1},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -46,6 +47,15 @@ type Options struct {
 	// KeepGoing runs every job of a batch even after failures instead of
 	// canceling the queued remainder on the first one.
 	KeepGoing bool
+	// Ctx, when non-nil, cancels sweeps cooperatively: once it fires,
+	// queued jobs are skipped (counted canceled in RunnerStats) while
+	// in-flight simulations drain to completion and land in the cache.
+	Ctx context.Context
+	// JobTimeout bounds each simulation attempt's wall-clock runtime
+	// (driven through sim.RunContext); zero disables it. Retries re-runs
+	// panicked or timed-out jobs deterministically up to N extra attempts.
+	JobTimeout time.Duration
+	Retries    int
 	// RunnerStats, when non-nil, accumulates the runner's simulated /
 	// cache-hit / failure counters across every batch of the experiment.
 	RunnerStats *runner.Stats
@@ -200,8 +210,10 @@ type job struct {
 // simulation and therefore produce no new artifacts.
 func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	ropts := runner.Options{
-		Parallel:  o.Parallel,
-		KeepGoing: o.KeepGoing,
+		Parallel:   o.Parallel,
+		KeepGoing:  o.KeepGoing,
+		JobTimeout: o.JobTimeout,
+		Retries:    o.Retries,
 	}
 	if o.CacheDir != "" {
 		ropts.Cache = runner.NewCache(o.CacheDir)
@@ -221,7 +233,11 @@ func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	for i, j := range jobs {
 		rjobs[i] = runner.Job{Key: j.key, Spec: j.spec}
 	}
-	results, st, err := runner.Run(context.Background(), ropts, rjobs)
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, st, err := runner.Run(ctx, ropts, rjobs)
 	if o.RunnerStats != nil {
 		o.RunnerStats.Add(st)
 	}

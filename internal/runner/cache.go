@@ -2,6 +2,7 @@ package runner
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -26,6 +27,21 @@ type Entry struct {
 	Summary *sim.Summary `json:"summary"`
 }
 
+// Cache-read outcomes, distinguished so sweeps can tell "never ran" from
+// "ran but the evidence rotted". A corrupt entry is quarantined, not
+// silently overwritten.
+var (
+	// ErrCacheMiss: no entry exists for the hash (also returned for a
+	// version-skewed entry, which is an expected schema evolution, not
+	// corruption).
+	ErrCacheMiss = errors.New("runner: cache miss")
+	// ErrCacheCorrupt: the entry exists but is unreadable, unparsable, or
+	// mis-addressed (its embedded spec no longer hashes to its file name).
+	// LoadEntry moves the file to <hash>.json.bad before returning, so the
+	// evidence survives the re-simulation that overwrites the slot.
+	ErrCacheCorrupt = errors.New("runner: corrupt cache entry")
+)
+
 // Cache is a content-addressed store of run summaries keyed by
 // runspec.Spec.Hash. It is safe for concurrent use: distinct hashes touch
 // distinct files, and writes of the same hash are atomic (temp + rename),
@@ -45,26 +61,55 @@ func (c *Cache) Path(hash string) string {
 	return filepath.Join(c.dir, hash+".json")
 }
 
-// Load returns the cached summary for hash, or ok=false on a miss. A
-// corrupted, schema-mismatched, or mis-addressed entry (its embedded spec
-// no longer hashes to its file name, e.g. after a hashing or simulator
-// change) counts as a miss so it gets re-simulated and overwritten.
+// Load returns the cached summary for hash, or ok=false on any kind of
+// miss. Callers that need to distinguish absence from corruption use
+// LoadEntry.
 func (c *Cache) Load(hash string) (*sim.Summary, bool) {
-	data, err := os.ReadFile(c.Path(hash))
+	sum, err := c.LoadEntry(hash)
+	return sum, err == nil
+}
+
+// LoadEntry returns the cached summary for hash, ErrCacheMiss when no
+// usable entry exists (absent file or version skew), or an
+// ErrCacheCorrupt-wrapped error when the entry is damaged or
+// mis-addressed. Corrupt entries are quarantined to <hash>.json.bad
+// (atomic rename) so re-simulation rewrites the slot without destroying
+// the evidence.
+func (c *Cache) LoadEntry(hash string) (*sim.Summary, error) {
+	path := c.Path(hash)
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrCacheMiss, hash)
+		}
+		return nil, c.quarantine(path, fmt.Errorf("%w: %v", ErrCacheCorrupt, err))
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, false
+		return nil, c.quarantine(path, fmt.Errorf("%w: %s: %v", ErrCacheCorrupt, path, err))
 	}
-	if e.Version != EntryVersion || e.Hash != hash || e.Summary == nil {
-		return nil, false
+	if e.Version != EntryVersion {
+		// Deliberate schema evolution: an old entry is a plain miss and may
+		// be overwritten by the re-simulated result.
+		return nil, fmt.Errorf("%w: %s (version %d != %d)", ErrCacheMiss, hash, e.Version, EntryVersion)
+	}
+	if e.Summary == nil {
+		return nil, c.quarantine(path, fmt.Errorf("%w: %s: entry has no summary", ErrCacheCorrupt, path))
+	}
+	if e.Hash != hash {
+		return nil, c.quarantine(path, fmt.Errorf("%w: %s: entry addressed as %s", ErrCacheCorrupt, path, e.Hash))
 	}
 	if h, err := e.Spec.Hash(); err != nil || h != hash {
-		return nil, false
+		return nil, c.quarantine(path, fmt.Errorf("%w: %s: embedded spec hashes to %s", ErrCacheCorrupt, path, h))
 	}
-	return e.Summary, true
+	return e.Summary, nil
+}
+
+// quarantine moves a damaged entry aside (best effort — a failed rename
+// must not mask the corruption report) and returns the given error.
+func (c *Cache) quarantine(path string, err error) error {
+	_ = os.Rename(path, path+".bad")
+	return err
 }
 
 // Store writes the entry for hash atomically.

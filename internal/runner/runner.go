@@ -1,8 +1,18 @@
 // Package runner schedules batches of declarative run specs over a bounded
-// worker pool, with a content-addressed result cache and aggregated error
-// reporting. Sweeps built on it are resumable for free: every completed job
-// leaves a cache entry under its spec hash, so re-invoking an interrupted
-// sweep re-simulates only the missing hashes.
+// worker pool, with a content-addressed result cache, fault-tolerant
+// execution, and aggregated error reporting. Sweeps built on it are
+// resumable for free: every completed job leaves a cache entry under its
+// spec hash, so re-invoking an interrupted sweep re-simulates only the
+// missing hashes; a crash-safe JSONL manifest beside the cache records each
+// job's terminal state for post-mortems.
+//
+// Concurrency contract: Run owns the outcome slice and Stats until it
+// returns; workers write disjoint outcome entries and serialize every
+// shared side effect (done counting, OnJobDone, manifest appends) under one
+// mutex. Observer/AfterSim hooks run on worker goroutines, one job at a
+// time per worker, and must not share mutable state across jobs unless
+// they synchronize it themselves. The contract is enforced by
+// `go test -race ./internal/runner/...` in scripts/check.sh.
 package runner
 
 import (
@@ -10,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/runspec"
@@ -26,17 +38,29 @@ type Job struct {
 }
 
 // Stats counts what a Run actually did — the observable difference between
-// a cold and a warm sweep.
+// a cold and a warm sweep, plus the failure taxonomy of a hardened one.
 type Stats struct {
 	// Jobs is the number of jobs submitted.
 	Jobs int
 	// Simulated jobs ran the simulator; CacheHits were served from disk.
 	Simulated int
 	CacheHits int
-	// Failures is the number of jobs that errored; Canceled is the number
-	// skipped after a failure canceled the batch.
+	// Failures is the number of jobs that terminally errored; Canceled is
+	// the number skipped because the batch context was canceled (operator
+	// interrupt, parent deadline, or the first-failure policy).
 	Failures int
 	Canceled int
+	// Panics counts panics recovered inside workers (each attempt counts);
+	// TimedOut counts per-job deadline expirations (each attempt counts);
+	// Retried counts deterministic re-run attempts after a retryable
+	// failure. A job retried to success contributes to Panics/TimedOut and
+	// Retried but not to Failures.
+	Panics   int
+	TimedOut int
+	Retried  int
+	// CacheCorrupt counts corrupt or mis-addressed cache entries that were
+	// quarantined to <hash>.json.bad and re-simulated.
+	CacheCorrupt int
 }
 
 // Add accumulates other into s (for sweeps composed of several batches).
@@ -46,22 +70,90 @@ func (s *Stats) Add(other Stats) {
 	s.CacheHits += other.CacheHits
 	s.Failures += other.Failures
 	s.Canceled += other.Canceled
+	s.Panics += other.Panics
+	s.TimedOut += other.TimedOut
+	s.Retried += other.Retried
+	s.CacheCorrupt += other.CacheCorrupt
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d jobs: %d simulated, %d cache hits, %d failed, %d canceled",
+	str := fmt.Sprintf("%d jobs: %d simulated, %d cache hits, %d failed, %d canceled",
 		s.Jobs, s.Simulated, s.CacheHits, s.Failures, s.Canceled)
+	if s.Panics > 0 {
+		str += fmt.Sprintf(", %d panics", s.Panics)
+	}
+	if s.TimedOut > 0 {
+		str += fmt.Sprintf(", %d timed out", s.TimedOut)
+	}
+	if s.Retried > 0 {
+		str += fmt.Sprintf(", %d retried", s.Retried)
+	}
+	if s.CacheCorrupt > 0 {
+		str += fmt.Sprintf(", %d corrupt cache entries quarantined", s.CacheCorrupt)
+	}
+	return str
 }
+
+// Register exposes the stats through an obs metrics registry as
+// runner_* gauges. Register before or after Run — gauges are read at
+// snapshot time, and snapshots of a live registry must wait until the
+// sweep is quiescent (the obs.Registry contract).
+func (s *Stats) Register(reg *obs.Registry) {
+	g := func(name string, p *int) {
+		reg.Gauge("runner_"+name, nil, func() float64 { return float64(*p) })
+	}
+	g("jobs", &s.Jobs)
+	g("simulated", &s.Simulated)
+	g("cache_hits", &s.CacheHits)
+	g("failures", &s.Failures)
+	g("canceled", &s.Canceled)
+	g("panics", &s.Panics)
+	g("timed_out", &s.TimedOut)
+	g("retried", &s.Retried)
+	g("cache_corrupt", &s.CacheCorrupt)
+}
+
+// PanicError is a panic recovered inside a worker and converted into an
+// ordinary job failure, so one bad spec cannot kill a multi-thousand-job
+// sweep. It carries the goroutine stack captured at the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// ErrJobTimeout marks a job that exceeded Options.JobTimeout. Distinct
+// from batch cancellation: a timed-out job is a (retryable) failure, a
+// canceled job never ran.
+var ErrJobTimeout = errors.New("runner: job timeout exceeded")
 
 // Options configure a batch run.
 type Options struct {
 	// Parallel bounds concurrent simulations (default: NumCPU-1, min 1).
 	Parallel int
 	// Cache, when non-nil, serves hits and stores results by spec hash.
+	// A cache also enables the sweep manifest: an append-only JSONL file
+	// <cache-dir>/sweep-<hash>.manifest recording each job's terminal
+	// state as it happens, so an interrupted or crashed sweep is
+	// diagnosable from disk.
 	Cache *Cache
 	// KeepGoing runs every job even after failures; by default the first
 	// failure cancels the queued remainder (in-flight simulations finish).
 	KeepGoing bool
+	// JobTimeout bounds each simulation attempt's wall-clock runtime; the
+	// deadline is driven through sim.RunContext, so a wedged simulation is
+	// abandoned cooperatively. Zero disables the per-job deadline.
+	JobTimeout time.Duration
+	// Retries re-runs a job after a retryable failure — a recovered panic
+	// or a job timeout — up to this many extra attempts, deterministically
+	// and without backoff (the simulator is deterministic, so a retry only
+	// helps against environmental flakes: memory pressure, CPU
+	// contention, wall-clock timeouts). Spec errors, simulator watchdog
+	// trips, and cancellation are never retried. Default 0.
+	Retries int
 	// Observer, when non-nil, builds a fresh per-job observability bundle
 	// for jobs that actually simulate (cache hits produce no artifacts);
 	// AfterSim then runs post-simulation with the same observer, e.g. to
@@ -85,11 +177,51 @@ func (o Options) parallel() int {
 	return p
 }
 
+// runSim is the simulation entry point, returning both the live result
+// (for AfterSim) and its serializable digest (for the cache and result
+// map). Chaos tests stub it to inject panics, hangs, and typed failures
+// without constructing real simulations.
+var runSim = func(ctx context.Context, cfg sim.Config) (*sim.Result, *sim.Summary, error) {
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Summarize(), nil
+}
+
+// outcome is one job's terminal record plus the event counts accumulated
+// across its attempts.
+type outcome struct {
+	sum      *sim.Summary
+	cached   bool
+	err      error
+	attempts int
+	panics   int
+	timeouts int
+	corrupt  int
+}
+
+// canceledOutcome reports whether err means "the batch stopped before this
+// job ran": both context.Canceled and a parent-context deadline classify
+// as canceled, distinct from the per-job timeout (ErrJobTimeout), which is
+// a failure of the job itself.
+func canceledOutcome(err error) bool {
+	if errors.Is(err, ErrJobTimeout) {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Run executes jobs and returns summaries keyed by Job.Key, plus the batch
 // stats. Every failure is reported: the returned error errors.Join-s one
 // error per failed job (prefixed with its key), and jobs skipped by
 // cancellation are counted so missing results are always accounted for —
 // a key absent from the map is named in the error, never silently dropped.
+//
+// Cancellation drains: once ctx fires, queued jobs are skipped (counted
+// Canceled) while in-flight simulations run to completion and land in the
+// cache, so an interrupted sweep loses no finished work. Each in-flight
+// job remains bounded by Options.JobTimeout.
 func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary, Stats, error) {
 	stats := Stats{Jobs: len(jobs)}
 	results := make(map[string]*sim.Summary, len(jobs))
@@ -99,24 +231,30 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type outcome struct {
-		sum    *sim.Summary
-		cached bool
-		err    error
-	}
 	outcomes := make([]outcome, len(jobs))
+
+	var manifest *Manifest
+	var manifestErr error
+	if opts.Cache != nil {
+		manifest, manifestErr = OpenManifest(opts.Cache.Dir(), jobs)
+	}
 
 	// The pool owns a fixed set of workers pulling job indices from a
 	// channel: acquiring a worker happens before any per-job work, so a
 	// multi-thousand-job sweep never materializes one goroutine per job.
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	var mu sync.Mutex // serializes done counting and OnJobDone
+	var mu sync.Mutex // serializes done counting, OnJobDone, manifest appends
 	done := 0
 	report := func(i int) {
 		mu.Lock()
 		defer mu.Unlock()
 		done++
+		if manifest != nil {
+			if err := manifest.AppendJob(jobs[i], outcomes[i]); err != nil && manifestErr == nil {
+				manifestErr = err
+			}
+		}
 		if opts.OnJobDone != nil {
 			opts.OnJobDone(done, len(jobs), jobs[i], outcomes[i].cached, outcomes[i].err)
 		}
@@ -130,14 +268,14 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if ctx.Err() != nil {
-					outcomes[i] = outcome{err: ctx.Err()}
+				if err := ctx.Err(); err != nil {
+					outcomes[i] = outcome{err: err}
 					report(i)
 					continue
 				}
-				sum, cached, err := runJob(opts, jobs[i])
-				outcomes[i] = outcome{sum: sum, cached: cached, err: err}
-				if err != nil && !opts.KeepGoing {
+				out := runJob(ctx, opts, jobs[i])
+				outcomes[i] = out
+				if out.err != nil && !opts.KeepGoing && !canceledOutcome(out.err) {
 					cancel()
 				}
 				report(i)
@@ -152,6 +290,12 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 
 	var errs []error
 	for i, out := range outcomes {
+		stats.Panics += out.panics
+		stats.TimedOut += out.timeouts
+		stats.CacheCorrupt += out.corrupt
+		if out.attempts > 1 {
+			stats.Retried += out.attempts - 1
+		}
 		switch {
 		case out.err == nil:
 			results[jobs[i].Key] = out.sum
@@ -160,7 +304,7 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 			} else {
 				stats.Simulated++
 			}
-		case errors.Is(out.err, context.Canceled):
+		case canceledOutcome(out.err):
 			stats.Canceled++
 		default:
 			stats.Failures++
@@ -168,45 +312,111 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 		}
 	}
 	if stats.Canceled > 0 {
-		errs = append(errs, fmt.Errorf("runner: %d jobs canceled after the first failure (completed results are cached; rerun to resume)", stats.Canceled))
+		errs = append(errs, fmt.Errorf("runner: %d jobs canceled before running (completed results are cached; rerun to resume)", stats.Canceled))
+	}
+	if manifest != nil {
+		if err := manifest.Close(); err != nil && manifestErr == nil {
+			manifestErr = err
+		}
+	}
+	if manifestErr != nil {
+		errs = append(errs, fmt.Errorf("runner: sweep manifest: %w", manifestErr))
 	}
 	return results, stats, errors.Join(errs...)
 }
 
-// runJob resolves one job: cache hit → load, miss → simulate → store.
-func runJob(opts Options, j Job) (*sim.Summary, bool, error) {
+// runJob resolves one job: cache hit → load, miss → simulate (with
+// retries for retryable failure classes) → store.
+func runJob(ctx context.Context, opts Options, j Job) (out outcome) {
 	hash, err := j.Spec.Hash()
 	if err != nil {
-		return nil, false, err
+		out.err = err
+		return out
 	}
 	if opts.Cache != nil {
-		if sum, ok := opts.Cache.Load(hash); ok {
-			return sum, true, nil
+		sum, err := opts.Cache.LoadEntry(hash)
+		switch {
+		case err == nil:
+			out.sum, out.cached = sum, true
+			return out
+		case errors.Is(err, ErrCacheCorrupt):
+			out.corrupt++ // quarantined by LoadEntry; fall through to re-simulate
 		}
 	}
 	cfg, err := j.Spec.SimConfig()
 	if err != nil {
-		return nil, false, err
+		out.err = err // spec errors are deterministic: never retried
+		return out
 	}
+	for {
+		out.attempts++
+		sum, err := runOnce(ctx, opts, j, cfg)
+		if err == nil {
+			if opts.Cache != nil {
+				if serr := opts.Cache.Store(hash, j.Spec.Normalized(), sum); serr != nil {
+					out.err = serr
+					return out
+				}
+			}
+			out.sum = sum
+			return out
+		}
+		var pe *PanicError
+		retryable := false
+		switch {
+		case errors.As(err, &pe):
+			out.panics++
+			retryable = true
+		case errors.Is(err, ErrJobTimeout):
+			out.timeouts++
+			retryable = true
+		}
+		if retryable && out.attempts <= opts.Retries && ctx.Err() == nil {
+			continue // deterministic re-run, no backoff
+		}
+		out.err = err
+		return out
+	}
+}
+
+// runOnce executes a single simulation attempt: a fresh observer, the
+// per-job deadline driven through the simulator's context plumbing, and a
+// recover barrier converting panics (in the simulator or the caller's
+// Observer/AfterSim hooks) into PanicError failures.
+func runOnce(ctx context.Context, opts Options, j Job, cfg sim.Config) (sum *sim.Summary, err error) {
+	// In-flight work is never aborted by batch cancellation — cancellation
+	// drains (queued jobs are skipped, running ones finish and cache).
+	// The only cancellation a job itself observes is its own deadline.
+	jctx := context.WithoutCancel(ctx)
+	if opts.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(jctx, opts.JobTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sum, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	var ob *obs.Observer
 	if opts.Observer != nil {
 		ob = opts.Observer(j)
 	}
 	cfg.Obs = ob
-	res, err := sim.Run(cfg)
+	res, s, err := runSim(jctx, cfg)
 	if err != nil {
-		return nil, false, err
+		if opts.JobTimeout > 0 && jctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
+			// The job's own deadline fired, not the batch context: report a
+			// retryable timeout that deliberately does not wrap the
+			// deadline error, so it can never classify as canceled.
+			return nil, fmt.Errorf("%w (%v): %v", ErrJobTimeout, opts.JobTimeout, err)
+		}
+		return nil, err
 	}
 	if opts.AfterSim != nil {
 		if err := opts.AfterSim(j, ob, res); err != nil {
-			return nil, false, err
+			return nil, err
 		}
 	}
-	sum := res.Summarize()
-	if opts.Cache != nil {
-		if err := opts.Cache.Store(hash, j.Spec.Normalized(), sum); err != nil {
-			return nil, false, err
-		}
-	}
-	return sum, false, nil
+	return s, nil
 }

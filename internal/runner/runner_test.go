@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"os"
 	"reflect"
 	"strings"
@@ -96,8 +97,52 @@ func TestCacheInvalidation(t *testing.T) {
 	if st.Simulated != 2 || st.CacheHits != 1 {
 		t.Fatalf("invalidated entries should re-simulate: %s", st)
 	}
+	if st.CacheCorrupt != 1 {
+		t.Errorf("the unparsable entry (but not the version skew) should count corrupt: %s", st)
+	}
 	if _, ok := cache.Load(h); !ok {
 		t.Error("re-simulation should rewrite the corrupted entry")
+	}
+	// The corrupted file was quarantined as evidence, not overwritten; the
+	// deliberate version skew is a plain miss and leaves no quarantine.
+	if bad, err := os.ReadFile(cache.Path(h) + ".bad"); err != nil || string(bad) != "not json" {
+		t.Errorf("corrupt entry should be quarantined to .bad with its original bytes: %v", err)
+	}
+	if _, err := os.Stat(cache.Path(h2) + ".bad"); !os.IsNotExist(err) {
+		t.Errorf("version-skewed entry must not be quarantined: %v", err)
+	}
+}
+
+// TestCacheLoadEntryClassification pins the three read outcomes apart:
+// absent → ErrCacheMiss, damaged → ErrCacheCorrupt (quarantined),
+// mis-addressed → ErrCacheCorrupt.
+func TestCacheLoadEntryClassification(t *testing.T) {
+	cache := NewCache(t.TempDir())
+	jobs := tinyJobs(2)
+	mustRun(t, Options{Cache: cache}, jobs)
+	h0, _ := jobs[0].Spec.Hash()
+	h1, _ := jobs[1].Spec.Hash()
+
+	if _, err := cache.LoadEntry("0000deadbeef"); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("absent entry: want ErrCacheMiss, got %v", err)
+	}
+	// Mis-addressed: entry h1's bytes stored under h0's name.
+	data, err := os.ReadFile(cache.Path(h1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.Path(h0), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.LoadEntry(h0); !errors.Is(err, ErrCacheCorrupt) {
+		t.Fatalf("mis-addressed entry: want ErrCacheCorrupt, got %v", err)
+	}
+	if _, err := os.Stat(cache.Path(h0) + ".bad"); err != nil {
+		t.Fatalf("mis-addressed entry should be quarantined: %v", err)
+	}
+	// After quarantine the slot reads as a miss.
+	if _, err := cache.LoadEntry(h0); !errors.Is(err, ErrCacheMiss) {
+		t.Fatalf("quarantined slot should now miss, got %v", err)
 	}
 }
 

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 
@@ -280,8 +281,25 @@ func defaultPolicy(s core.Scheme) string {
 	return "column"
 }
 
+// cancelStride is how many main-loop iterations pass between cancellation
+// checks in RunContext. Each iteration covers at least one DRAM cycle (idle
+// fast-forward covers many more), so a canceled run stops within
+// microseconds of wall clock while the uncancellable path pays one
+// predictable nil-comparison per iteration.
+const cancelStride = 4096
+
 // Run executes one simulation to completion.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext executes one simulation to completion, abandoning it with an
+// ErrCanceled-wrapped error (which also wraps ctx.Err(), so
+// errors.Is(err, context.Canceled) and context.DeadlineExceeded hold) as
+// soon as a coarse-stride check observes the context's cancellation. The
+// check is observationally free: it mutates no simulation state, so a run
+// whose context never fires is bit-identical to Run — the golden
+// cycle-equivalence tests pin this — and contexts that can never fire
+// (context.Background) skip the check entirely.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("sim: cores must be positive")
 	}
@@ -413,9 +431,25 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	cancelable := ctx.Done() != nil
+	if cancelable {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w at cycle 0: %w", ErrCanceled, err)
+		}
+	}
+	var sinceCancelCheck uint64
+
 	var wd drainWatchdog
 	var tokenBuf []uint64
 	for {
+		if cancelable {
+			if sinceCancelCheck++; sinceCancelCheck >= cancelStride {
+				sinceCancelCheck = 0
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("%w at cycle %d: %w", ErrCanceled, cpuCycle, err)
+				}
+			}
+		}
 		allDone := true
 		for _, c := range cores {
 			if !c.Done() {

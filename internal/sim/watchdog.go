@@ -1,14 +1,37 @@
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed terminal errors. Callers classify run outcomes with errors.Is
+// instead of string matching: a watchdog trip (ErrDeadlock, ErrDrainStall)
+// is deterministic — re-running the identical configuration wedges at the
+// identical cycle, so retrying cannot help — while ErrCanceled is the
+// caller's own interruption and additionally wraps the context's error, so
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded also hold.
+var (
+	// ErrDeadlock reports that the simulation stopped making forward
+	// progress (no delivered completion, no retired instruction) for the
+	// deadlock budget while cores still had work outstanding.
+	ErrDeadlock = errors.New("sim: deadlock")
+	// ErrDrainStall reports that the post-completion residual-write drain
+	// did not converge within its budget.
+	ErrDrainStall = errors.New("sim: drain did not converge")
+	// ErrCanceled reports that RunContext observed its context's
+	// cancellation and abandoned the run.
+	ErrCanceled = errors.New("sim: run canceled")
+)
 
 // Watchdog limits, in simulated DRAM cycles without forward progress
 // (a delivered read completion or a retired instruction). Residual-write
 // drain after all cores finish is refresh-bound and gets a tighter budget
-// than the general deadlock guard.
-const (
-	drainLimit    = 2_000_000
-	deadlockLimit = 4_000_000
+// than the general deadlock guard. These are variables, not constants, so
+// the typed-error tests can shrink them and wedge a real run.
+var (
+	drainLimit    uint64 = 2_000_000
+	deadlockLimit uint64 = 4_000_000
 )
 
 // drainWatchdog detects a wedged simulation. It counts consecutive
@@ -22,7 +45,7 @@ type drainWatchdog struct {
 
 // observe records that `cycles` simulated DRAM cycles elapsed with
 // (progressed=true) or without (progressed=false) forward progress, and
-// returns an error when the no-progress budget is exhausted.
+// returns a typed error when the no-progress budget is exhausted.
 func (w *drainWatchdog) observe(progressed bool, cycles uint64, allDone bool, cpuCycle uint64, pending int) error {
 	if progressed {
 		w.idle = 0
@@ -32,12 +55,12 @@ func (w *drainWatchdog) observe(progressed bool, cycles uint64, allDone bool, cp
 	if allDone {
 		// Draining residual writes; refresh-bound, give it time.
 		if w.idle > drainLimit {
-			return fmt.Errorf("sim: drain did not converge")
+			return fmt.Errorf("%w after %d idle cycles at cycle %d (pending=%d)", ErrDrainStall, w.idle, cpuCycle, pending)
 		}
 		return nil
 	}
 	if w.idle > deadlockLimit {
-		return fmt.Errorf("sim: deadlock at cycle %d (pending=%d)", cpuCycle, pending)
+		return fmt.Errorf("%w at cycle %d (pending=%d)", ErrDeadlock, cpuCycle, pending)
 	}
 	return nil
 }

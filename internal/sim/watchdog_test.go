@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,12 @@ func TestWatchdogDrainConvergence(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "drain did not converge") {
 		t.Fatalf("want drain-convergence error, got %v", err)
 	}
+	if !errors.Is(err, ErrDrainStall) {
+		t.Fatalf("drain stall must be typed ErrDrainStall, got %v", err)
+	}
+	if errors.Is(err, ErrDeadlock) {
+		t.Fatalf("drain stall must not classify as deadlock: %v", err)
+	}
 }
 
 func TestWatchdogDeadlock(t *testing.T) {
@@ -37,6 +44,12 @@ func TestWatchdogDeadlock(t *testing.T) {
 	err := w.observe(false, 1, false, 42, 7)
 	if err == nil || !strings.Contains(err.Error(), "deadlock at cycle 42 (pending=7)") {
 		t.Fatalf("want deadlock error, got %v", err)
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("deadlock must be typed ErrDeadlock, got %v", err)
+	}
+	if errors.Is(err, ErrDrainStall) {
+		t.Fatalf("deadlock must not classify as drain stall: %v", err)
 	}
 }
 
