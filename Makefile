@@ -1,6 +1,6 @@
 # See README "Install"; `make check` is the pre-commit gate.
 
-.PHONY: check build test race bench bench-smoke
+.PHONY: check build test race bench bench-smoke bench-check
 
 check:
 	./scripts/check.sh
@@ -21,3 +21,8 @@ bench:
 # One-iteration smoke run of the same suite (CI, non-gating).
 bench-smoke:
 	./scripts/bench.sh smoke
+
+# Compare the current benchmark numbers in BENCH_hotloop.json against the
+# frozen baseline and write a machine-readable delta report.
+bench-check:
+	go run ./cmd/benchcheck -bench-json BENCH_hotloop.json -report bench_delta.json

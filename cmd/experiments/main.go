@@ -14,8 +14,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,6 +21,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/obs/sweep"
 	"repro/internal/runner"
 )
 
@@ -42,8 +42,9 @@ func main() {
 	traceDir := flag.String("trace-events", "", "write a per-run Chrome trace-event JSON under this directory")
 	epoch := flag.Uint64("epoch", 0, "epoch interval in CPU cycles for -timeseries (0 = default 50000)")
 	traceCap := flag.Int("trace-cap", 0, "per-run event ring capacity for -trace-events (0 = default 1M)")
-	progress := flag.Bool("progress", false, "print per-simulation sweep progress to stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address while the sweep runs")
+	progress := flag.Bool("progress", false, "print a live sweep progress line to stderr: completed/total, cache-hit ratio, jobs/sec, ETA")
+	statusAddr := flag.String("status-addr", "", "serve the live sweep status API on this address: /progress (JSON snapshot), /metrics (Prometheus), /events (lifecycle stream), /debug/pprof")
+	pprofAddr := flag.String("pprof", "", "deprecated alias of -status-addr (the unified server also mounts /debug/pprof)")
 	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; identical runs are served from <dir>/<hash>.json instead of re-simulated")
 	noCache := flag.Bool("no-cache", false, "disable the result cache even if -cache-dir or -resume is set")
 	resume := flag.Bool("resume", false, "resume an interrupted sweep: enable the cache (default .runcache) so only missing runs re-simulate")
@@ -70,17 +71,37 @@ func main() {
 		*cacheDir = ""
 	}
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
+	if *statusAddr == "" {
+		*statusAddr = *pprofAddr
 	}
 
 	jsonOut := map[string]any{}
 
 	var runnerStats runner.Stats
+
+	// Sweep telemetry is attached only when something consumes it (-status-addr
+	// or -progress); the default path runs with a nil collector and is
+	// bit-identical to a telemetry-free sweep.
+	var col *sweep.Collector
+	if *statusAddr != "" || *progress {
+		col = sweep.New()
+	}
+	if *statusAddr != "" {
+		reg := obs.NewRegistry()
+		runnerStats.Register(reg)
+		col.Register(reg)
+		srv, err := sweep.Start(*statusAddr, sweep.ServerConfig{
+			Collector: col,
+			Metrics:   func() *obs.Snapshot { return reg.Snapshot() },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "status server:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[status server on http://%s — /progress /metrics /events /debug/pprof]\n", srv.Addr())
+	}
+
 	o := experiments.Options{
 		OpsPerCore:  *ops,
 		Seed:        *seed,
@@ -91,6 +112,7 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		Retries:     *retries,
 		RunnerStats: &runnerStats,
+		Telemetry:   col,
 		Obs: experiments.ObsOptions{
 			MetricsDir:    *metricsDir,
 			TimeseriesDir: *timeseriesDir,
@@ -105,7 +127,12 @@ func main() {
 			if cached {
 				tag = " (cached)"
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", done, total, key, tag)
+			p := col.Snapshot()
+			line := fmt.Sprintf("[%d/%d] %s%s | cache %.0f%% | %.1f jobs/s", p.Completed, p.Jobs, key, tag, 100*p.CacheHitRatio, p.JobsPerSec)
+			if p.EtaS > 0 {
+				line += fmt.Sprintf(" | ETA %s", (time.Duration(p.EtaS * float64(time.Second))).Round(time.Second))
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	if *bench != "" {

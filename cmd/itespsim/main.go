@@ -25,23 +25,43 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/obs/sweep"
 	"repro/internal/runner"
 	"repro/internal/runspec"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// liveProgress stores the latest simulation ProgressStat for the status
+// server's /progress endpoint.
+type liveProgress struct {
+	mu   sync.Mutex
+	stat obs.ProgressStat
+	ok   bool
+}
+
+func (l *liveProgress) set(s obs.ProgressStat) {
+	l.mu.Lock()
+	l.stat, l.ok = s, true
+	l.mu.Unlock()
+}
+
+func (l *liveProgress) get() (obs.ProgressStat, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stat, l.ok
+}
 
 func main() {
 	scheme := flag.String("scheme", "itesp", "scheme name: "+fmt.Sprint(core.SchemeNames()))
@@ -62,18 +82,26 @@ func main() {
 	traceEvents := flag.String("trace-events", "", "write Chrome trace-event JSON to this file (open in Perfetto)")
 	traceCap := flag.Int("trace-cap", 1<<20, "event ring-buffer capacity for -trace-events (oldest dropped)")
 	progress := flag.Bool("progress", false, "print live simulation progress to stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	statusAddr := flag.String("status-addr", "", "serve the live status API on this address: /progress (JSON run snapshot), /debug/pprof")
+	pprofAddr := flag.String("pprof", "", "deprecated alias of -status-addr (the unified server also mounts /debug/pprof)")
 	specPath := flag.String("spec", "", "load the run spec from this JSON file instead of the knob flags (\"-\" reads stdin)")
 	resultJSON := flag.String("result-json", "", "write the run's spec, content hash, and summary (a runner cache entry) to this file")
 	faults := flag.String("faults", "", "fault-injection campaign, e.g. n=16,kind=chip,seed=7,span=4096,scrub=100 (see README \"Reliability & fault injection\")")
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
+	if *statusAddr == "" {
+		*statusAddr = *pprofAddr
+	}
+	var live *liveProgress
+	if *statusAddr != "" {
+		live = &liveProgress{}
+		srv, err := sweep.Start(*statusAddr, sweep.ServerConfig{Run: live.get})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "status server:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[status server on http://%s — /progress /debug/pprof]\n", srv.Addr())
 	}
 
 	var sp runspec.Spec
@@ -142,7 +170,7 @@ func main() {
 	}
 
 	var ob *obs.Observer
-	if *metrics != "" || *timeseries != "" || *traceEvents != "" || *progress {
+	if *metrics != "" || *timeseries != "" || *traceEvents != "" || *progress || live != nil {
 		obCfg := obs.Config{Metrics: *metrics != ""}
 		if *timeseries != "" {
 			obCfg.EpochCycles = *epoch
@@ -150,8 +178,15 @@ func main() {
 		if *traceEvents != "" {
 			obCfg.TraceCapacity = *traceCap
 		}
-		if *progress {
+		if *progress || live != nil {
+			print, feed := *progress, live
 			obCfg.Progress = func(s obs.ProgressStat) {
+				if feed != nil {
+					feed.set(s)
+				}
+				if !print {
+					return
+				}
 				pct := 0.0
 				if s.OpsTarget > 0 {
 					pct = 100 * float64(s.OpsDone) / float64(s.OpsTarget)

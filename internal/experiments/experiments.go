@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/sweep"
 	"repro/internal/runner"
 	"repro/internal/runspec"
 	"repro/internal/sim"
@@ -58,7 +59,14 @@ type Options struct {
 	Retries    int
 	// RunnerStats, when non-nil, accumulates the runner's simulated /
 	// cache-hit / failure counters across every batch of the experiment.
+	// The runner updates it live (atomically) as jobs finish, so gauges
+	// registered via its Register method report mid-sweep values.
 	RunnerStats *runner.Stats
+	// Telemetry, when non-nil, receives job-lifecycle events from every
+	// batch of the experiment (see internal/obs/sweep); with a CacheDir
+	// set, each batch also journals its events to a telemetry.jsonl beside
+	// the sweep manifest.
+	Telemetry *sweep.Collector
 	// Obs configures per-simulation observability artifacts and sweep
 	// progress reporting.
 	Obs ObsOptions
@@ -214,6 +222,8 @@ func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 		KeepGoing:  o.KeepGoing,
 		JobTimeout: o.JobTimeout,
 		Retries:    o.Retries,
+		Stats:      o.RunnerStats,
+		Telemetry:  o.Telemetry,
 	}
 	if o.CacheDir != "" {
 		ropts.Cache = runner.NewCache(o.CacheDir)
@@ -237,10 +247,9 @@ func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	results, st, err := runner.Run(ctx, ropts, rjobs)
-	if o.RunnerStats != nil {
-		o.RunnerStats.Add(st)
-	}
+	// RunnerStats is threaded through runner.Options.Stats, so the runner
+	// itself keeps it live-updated as jobs finish; no end-of-batch fold-in.
+	results, _, err := runner.Run(ctx, ropts, rjobs)
 	return results, err
 }
 

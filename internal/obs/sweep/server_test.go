@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServerProgressEndpoint(t *testing.T) {
+	c, _ := newTestCollector()
+	c.SweepStart(5)
+	driveJob(c, "itesp/mcf", false)
+	driveJob(c, "itesp/pr", true)
+	c.JobQueued("itesp/lbm", "h")
+	c.JobStarted("itesp/lbm", "h")
+
+	srv := httptest.NewServer(Handler(ServerConfig{Collector: c}))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/progress")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	var payload struct {
+		Sweep *Progress `json:"sweep"`
+		Run   *struct{} `json:"run"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	p := payload.Sweep
+	if p == nil || p.Jobs != 5 || p.Completed != 2 || p.InFlight != 1 {
+		t.Fatalf("progress: %+v", p)
+	}
+	if p.CacheHitRatio != 0.5 || len(p.Slowest) != 1 || p.Slowest[0].Key != "itesp/lbm" {
+		t.Fatalf("progress detail: %+v", p)
+	}
+	if payload.Run != nil {
+		t.Fatal("no run source configured; run section must be absent")
+	}
+}
+
+func TestServerRunProgress(t *testing.T) {
+	srv := httptest.NewServer(Handler(ServerConfig{
+		Run: func() (obs.ProgressStat, bool) {
+			return obs.ProgressStat{CPUCycles: 1000, OpsDone: 50, OpsTarget: 200}, true
+		},
+	}))
+	defer srv.Close()
+	_, body := get(t, srv.URL+"/progress")
+	var payload struct {
+		Run *struct {
+			CPUCycles uint64  `json:"cpu_cycles"`
+			Pct       float64 `json:"pct"`
+		} `json:"run"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Run == nil || payload.Run.CPUCycles != 1000 || payload.Run.Pct != 25 {
+		t.Fatalf("run progress: %+v", payload.Run)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	c, _ := newTestCollector()
+	reg := obs.NewRegistry()
+	c.Register(reg)
+	c.SweepStart(2)
+	driveJob(c, "a", false)
+
+	srv := httptest.NewServer(Handler(ServerConfig{
+		Collector: c,
+		Metrics:   func() *obs.Snapshot { return reg.Snapshot() },
+	}))
+	defer srv.Close()
+
+	resp, body := get(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE sweep_jobs gauge", "sweep_jobs 2", "sweep_completed 1", "sweep_simulated 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Without a metrics source the endpoint degrades, not 404s.
+	bare := httptest.NewServer(Handler(ServerConfig{}))
+	defer bare.Close()
+	resp, body = get(t, bare.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "# no metrics registry") {
+		t.Fatalf("bare metrics: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestServerEventsStream subscribes to /events mid-sweep and asserts the
+// NDJSON stream carries subsequently emitted lifecycle events in order.
+func TestServerEventsStream(t *testing.T) {
+	c, _ := newTestCollector()
+	srv := httptest.NewServer(Handler(ServerConfig{Collector: c}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	// Emit after the subscription is live. The handler subscribes before
+	// writing the header, so once we see the 200 the events are captured.
+	c.SweepStart(1)
+	driveJob(c, "live", false)
+
+	sc := bufio.NewScanner(resp.Body)
+	var got []Event
+	for len(got) < 6 && sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		got = append(got, ev)
+	}
+	wantTypes := []string{EventSweepStart, EventQueued, EventStarted, EventCacheMiss, EventAttempt, EventDone}
+	for i, w := range wantTypes {
+		if got[i].Type != w {
+			t.Fatalf("event %d = %s, want %s", i, got[i].Type, w)
+		}
+		if i > 0 && got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("seq gap at %d: %+v", i, got)
+		}
+	}
+	if got[5].Outcome != OutcomeDone || got[5].Key != "live" {
+		t.Fatalf("terminal event: %+v", got[5])
+	}
+	cancel() // disconnect; handler must unsubscribe without wedging
+}
+
+func TestServerEventsSSE(t *testing.T) {
+	c, _ := newTestCollector()
+	srv := httptest.NewServer(Handler(ServerConfig{Collector: c}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	c.SweepStart(1)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			t.Fatalf("SSE line %q", line)
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != EventSweepStart {
+			t.Fatalf("event type %s", ev.Type)
+		}
+		return
+	}
+	t.Fatal("no SSE event received")
+}
+
+func TestServerEventsWithoutCollector(t *testing.T) {
+	srv := httptest.NewServer(Handler(ServerConfig{}))
+	defer srv.Close()
+	resp, _ := get(t, srv.URL+"/events")
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestServerPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(Handler(ServerConfig{}))
+	defer srv.Close()
+	resp, body := get(t, srv.URL+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Fatalf("pprof cmdline: %d", resp.StatusCode)
+	}
+}
+
+// TestStartAndClose exercises the real listener path (":0" port pick) and
+// that Close terminates the server.
+func TestStartAndClose(t *testing.T) {
+	c, _ := newTestCollector()
+	srv, err := Start("127.0.0.1:0", ServerConfig{Collector: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, "http://"+srv.Addr()+"/progress")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "sweep") {
+		t.Fatalf("progress over real listener: %d %s", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/progress"); err == nil {
+		t.Fatal("server should be closed")
+	}
+}

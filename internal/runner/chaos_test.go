@@ -191,7 +191,7 @@ func TestChaosParentDeadlineClassifiedCanceled(t *testing.T) {
 	})
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	_, st, err := Run(ctx, Options{Parallel: 2}, []Job{stubJob("a", seedOK), stubJob("b", seedOK + 1)})
+	_, st, err := Run(ctx, Options{Parallel: 2}, []Job{stubJob("a", seedOK), stubJob("b", seedOK+1)})
 	if st.Failures != 0 || st.Canceled != 2 {
 		t.Fatalf("parent deadline must count as canceled, not failed: %s (err=%v)", st, err)
 	}

@@ -68,6 +68,34 @@ func ManifestPath(dir string, jobs []Job) string {
 	return filepath.Join(dir, "sweep-"+SweepHash(jobs)+".manifest")
 }
 
+// TelemetryPath returns the job-lifecycle telemetry journal for a job set
+// under dir, written beside the manifest when Options.Telemetry and a
+// cache are both configured (append-only JSONL; see sweep.Replay).
+func TelemetryPath(dir string, jobs []Job) string {
+	return filepath.Join(dir, "sweep-"+SweepHash(jobs)+".telemetry.jsonl")
+}
+
+// outcomeState classifies a terminal outcome into the manifest state
+// vocabulary (shared verbatim with the telemetry event model's Outcome*
+// constants).
+func outcomeState(out outcome) string {
+	var pe *PanicError
+	switch {
+	case out.err == nil && out.cached:
+		return StateCached
+	case out.err == nil:
+		return StateDone
+	case canceledOutcome(out.err):
+		return StateCanceled
+	case errors.Is(out.err, ErrJobTimeout):
+		return StateTimeout
+	case errors.As(out.err, &pe):
+		return StatePanic
+	default:
+		return StateFailed
+	}
+}
+
 // Manifest is an append-only JSONL record of a sweep's progress, written
 // beside the result cache. Appends are single O_APPEND writes of whole
 // lines, so a crash can at worst tear the final line — which ReadManifest
@@ -111,22 +139,8 @@ func (m *Manifest) AppendJob(j Job, out outcome) error {
 		Kind:     "job",
 		Key:      j.Key,
 		Hash:     hash,
+		State:    outcomeState(out),
 		Attempts: out.attempts,
-	}
-	var pe *PanicError
-	switch {
-	case out.err == nil && out.cached:
-		rec.State = StateCached
-	case out.err == nil:
-		rec.State = StateDone
-	case canceledOutcome(out.err):
-		rec.State = StateCanceled
-	case errors.Is(out.err, ErrJobTimeout):
-		rec.State = StateTimeout
-	case errors.As(out.err, &pe):
-		rec.State = StatePanic
-	default:
-		rec.State = StateFailed
 	}
 	if out.err != nil {
 		rec.Error = out.err.Error()

@@ -19,12 +19,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/sweep"
 	"repro/internal/runspec"
 	"repro/internal/sim"
 )
@@ -35,82 +37,6 @@ import (
 type Job struct {
 	Key  string
 	Spec runspec.Spec
-}
-
-// Stats counts what a Run actually did — the observable difference between
-// a cold and a warm sweep, plus the failure taxonomy of a hardened one.
-type Stats struct {
-	// Jobs is the number of jobs submitted.
-	Jobs int
-	// Simulated jobs ran the simulator; CacheHits were served from disk.
-	Simulated int
-	CacheHits int
-	// Failures is the number of jobs that terminally errored; Canceled is
-	// the number skipped because the batch context was canceled (operator
-	// interrupt, parent deadline, or the first-failure policy).
-	Failures int
-	Canceled int
-	// Panics counts panics recovered inside workers (each attempt counts);
-	// TimedOut counts per-job deadline expirations (each attempt counts);
-	// Retried counts deterministic re-run attempts after a retryable
-	// failure. A job retried to success contributes to Panics/TimedOut and
-	// Retried but not to Failures.
-	Panics   int
-	TimedOut int
-	Retried  int
-	// CacheCorrupt counts corrupt or mis-addressed cache entries that were
-	// quarantined to <hash>.json.bad and re-simulated.
-	CacheCorrupt int
-}
-
-// Add accumulates other into s (for sweeps composed of several batches).
-func (s *Stats) Add(other Stats) {
-	s.Jobs += other.Jobs
-	s.Simulated += other.Simulated
-	s.CacheHits += other.CacheHits
-	s.Failures += other.Failures
-	s.Canceled += other.Canceled
-	s.Panics += other.Panics
-	s.TimedOut += other.TimedOut
-	s.Retried += other.Retried
-	s.CacheCorrupt += other.CacheCorrupt
-}
-
-func (s Stats) String() string {
-	str := fmt.Sprintf("%d jobs: %d simulated, %d cache hits, %d failed, %d canceled",
-		s.Jobs, s.Simulated, s.CacheHits, s.Failures, s.Canceled)
-	if s.Panics > 0 {
-		str += fmt.Sprintf(", %d panics", s.Panics)
-	}
-	if s.TimedOut > 0 {
-		str += fmt.Sprintf(", %d timed out", s.TimedOut)
-	}
-	if s.Retried > 0 {
-		str += fmt.Sprintf(", %d retried", s.Retried)
-	}
-	if s.CacheCorrupt > 0 {
-		str += fmt.Sprintf(", %d corrupt cache entries quarantined", s.CacheCorrupt)
-	}
-	return str
-}
-
-// Register exposes the stats through an obs metrics registry as
-// runner_* gauges. Register before or after Run — gauges are read at
-// snapshot time, and snapshots of a live registry must wait until the
-// sweep is quiescent (the obs.Registry contract).
-func (s *Stats) Register(reg *obs.Registry) {
-	g := func(name string, p *int) {
-		reg.Gauge("runner_"+name, nil, func() float64 { return float64(*p) })
-	}
-	g("jobs", &s.Jobs)
-	g("simulated", &s.Simulated)
-	g("cache_hits", &s.CacheHits)
-	g("failures", &s.Failures)
-	g("canceled", &s.Canceled)
-	g("panics", &s.Panics)
-	g("timed_out", &s.TimedOut)
-	g("retried", &s.Retried)
-	g("cache_corrupt", &s.CacheCorrupt)
 }
 
 // PanicError is a panic recovered inside a worker and converted into an
@@ -164,6 +90,19 @@ type Options struct {
 	// hits and failures) with the completed count and total. Calls are
 	// serialized.
 	OnJobDone func(done, total int, j Job, cached bool, err error)
+	// Stats, when non-nil, is updated live (atomic operations) as jobs
+	// reach terminal states, so gauges installed by Stats.Register and
+	// Stats.Snapshot report mid-run values. Run adds the same totals it
+	// returns, so one Stats may accumulate across sequential Runs.
+	Stats *Stats
+	// Telemetry, when non-nil, receives a job-lifecycle event at every
+	// transition: queued → started → attempt N → cache hit/miss →
+	// panic/timeout/retry → terminal outcome. When a Cache is also
+	// configured, the events are journaled to
+	// <cache-dir>/sweep-<hash>.telemetry.jsonl beside the sweep manifest
+	// (append-only JSONL, replayable with sweep.Replay). A nil collector
+	// costs one nil check per transition and changes nothing else.
+	Telemetry *sweep.Collector
 }
 
 func (o Options) parallel() int {
@@ -223,10 +162,14 @@ func canceledOutcome(err error) bool {
 // cache, so an interrupted sweep loses no finished work. Each in-flight
 // job remains bounded by Options.JobTimeout.
 func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary, Stats, error) {
-	stats := Stats{Jobs: len(jobs)}
+	var stats Stats
+	stats.addJobs(len(jobs))
 	results := make(map[string]*sim.Summary, len(jobs))
 	if len(jobs) == 0 {
 		return results, stats, nil
+	}
+	if opts.Stats != nil {
+		opts.Stats.addJobs(len(jobs))
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -237,6 +180,26 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 	var manifestErr error
 	if opts.Cache != nil {
 		manifest, manifestErr = OpenManifest(opts.Cache.Dir(), jobs)
+	}
+
+	// Telemetry: journal lifecycle events beside the manifest when both a
+	// collector and a cache are configured, and record the whole job set as
+	// queued before any worker starts.
+	tel := opts.Telemetry
+	var telFile *os.File
+	var telErr error
+	if tel != nil {
+		if opts.Cache != nil {
+			telFile, telErr = openTelemetry(opts.Cache.Dir(), jobs)
+			if telErr == nil {
+				tel.AttachSink(telFile)
+			}
+		}
+		tel.SweepStart(len(jobs))
+		for _, j := range jobs {
+			h, _ := j.Spec.Hash()
+			tel.JobQueued(j.Key, h)
+		}
 	}
 
 	// The pool owns a fixed set of workers pulling job indices from a
@@ -250,13 +213,24 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 		mu.Lock()
 		defer mu.Unlock()
 		done++
+		out := outcomes[i]
 		if manifest != nil {
-			if err := manifest.AppendJob(jobs[i], outcomes[i]); err != nil && manifestErr == nil {
+			if err := manifest.AppendJob(jobs[i], out); err != nil && manifestErr == nil {
 				manifestErr = err
 			}
 		}
+		if opts.Stats != nil {
+			opts.Stats.accumulate(out)
+		}
+		if tel != nil {
+			errText := ""
+			if out.err != nil {
+				errText = out.err.Error()
+			}
+			tel.JobDone(jobs[i].Key, outcomeState(out), out.attempts, errText)
+		}
 		if opts.OnJobDone != nil {
-			opts.OnJobDone(done, len(jobs), jobs[i], outcomes[i].cached, outcomes[i].err)
+			opts.OnJobDone(done, len(jobs), jobs[i], out.cached, out.err)
 		}
 	}
 	workers := opts.parallel()
@@ -290,24 +264,12 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 
 	var errs []error
 	for i, out := range outcomes {
-		stats.Panics += out.panics
-		stats.TimedOut += out.timeouts
-		stats.CacheCorrupt += out.corrupt
-		if out.attempts > 1 {
-			stats.Retried += out.attempts - 1
-		}
+		stats.accumulate(out)
 		switch {
 		case out.err == nil:
 			results[jobs[i].Key] = out.sum
-			if out.cached {
-				stats.CacheHits++
-			} else {
-				stats.Simulated++
-			}
 		case canceledOutcome(out.err):
-			stats.Canceled++
 		default:
-			stats.Failures++
 			errs = append(errs, fmt.Errorf("%s: %w", jobs[i].Key, out.err))
 		}
 	}
@@ -322,25 +284,60 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 	if manifestErr != nil {
 		errs = append(errs, fmt.Errorf("runner: sweep manifest: %w", manifestErr))
 	}
+	if tel != nil {
+		tel.SweepEnd()
+		tel.AttachSink(nil)
+		if err := tel.SinkErr(); err != nil && telErr == nil {
+			telErr = err
+		}
+		if telFile != nil {
+			serr := telFile.Sync()
+			cerr := telFile.Close()
+			if telErr == nil && serr != nil {
+				telErr = serr
+			}
+			if telErr == nil && cerr != nil {
+				telErr = cerr
+			}
+		}
+		if telErr != nil {
+			errs = append(errs, fmt.Errorf("runner: sweep telemetry: %w", telErr))
+		}
+	}
 	return results, stats, errors.Join(errs...)
+}
+
+// openTelemetry opens (creating dir as needed) the append-only telemetry
+// journal for this job set.
+func openTelemetry(dir string, jobs []Job) (*os.File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(TelemetryPath(dir, jobs), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // runJob resolves one job: cache hit → load, miss → simulate (with
 // retries for retryable failure classes) → store.
 func runJob(ctx context.Context, opts Options, j Job) (out outcome) {
-	hash, err := j.Spec.Hash()
-	if err != nil {
-		out.err = err
+	tel := opts.Telemetry
+	hash, herr := j.Spec.Hash()
+	tel.JobStarted(j.Key, hash)
+	if herr != nil {
+		out.err = herr
 		return out
 	}
 	if opts.Cache != nil {
 		sum, err := opts.Cache.LoadEntry(hash)
 		switch {
 		case err == nil:
+			tel.CacheHit(j.Key)
 			out.sum, out.cached = sum, true
 			return out
 		case errors.Is(err, ErrCacheCorrupt):
 			out.corrupt++ // quarantined by LoadEntry; fall through to re-simulate
+			tel.CacheCorrupt(j.Key)
+		default:
+			tel.CacheMiss(j.Key)
 		}
 	}
 	cfg, err := j.Spec.SimConfig()
@@ -350,6 +347,7 @@ func runJob(ctx context.Context, opts Options, j Job) (out outcome) {
 	}
 	for {
 		out.attempts++
+		tel.JobAttempt(j.Key, out.attempts)
 		sum, err := runOnce(ctx, opts, j, cfg)
 		if err == nil {
 			if opts.Cache != nil {
@@ -367,11 +365,14 @@ func runJob(ctx context.Context, opts Options, j Job) (out outcome) {
 		case errors.As(err, &pe):
 			out.panics++
 			retryable = true
+			tel.JobPanic(j.Key, out.attempts)
 		case errors.Is(err, ErrJobTimeout):
 			out.timeouts++
 			retryable = true
+			tel.JobTimeout(j.Key, out.attempts)
 		}
 		if retryable && out.attempts <= opts.Retries && ctx.Err() == nil {
+			tel.JobRetry(j.Key, out.attempts)
 			continue // deterministic re-run, no backoff
 		}
 		out.err = err

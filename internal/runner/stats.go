@@ -1,0 +1,136 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Stats counts what a Run actually did — the observable difference between
+// a cold and a warm sweep, plus the failure taxonomy of a hardened one.
+//
+// Concurrency contract: every write the runner performs is an atomic
+// operation, so a Stats passed as Options.Stats is safe to read mid-run —
+// but only through Snapshot or the gauges installed by Register, which use
+// atomic loads. Direct field reads (and copying the struct) are safe only
+// once the Stats is quiescent: after Run returns for a live Options.Stats,
+// and always for the value Run returns.
+type Stats struct {
+	// Jobs is the number of jobs submitted.
+	Jobs int64
+	// Simulated jobs ran the simulator; CacheHits were served from disk.
+	Simulated int64
+	CacheHits int64
+	// Failures is the number of jobs that terminally errored; Canceled is
+	// the number skipped because the batch context was canceled (operator
+	// interrupt, parent deadline, or the first-failure policy).
+	Failures int64
+	Canceled int64
+	// Panics counts panics recovered inside workers (each attempt counts);
+	// TimedOut counts per-job deadline expirations (each attempt counts);
+	// Retried counts deterministic re-run attempts after a retryable
+	// failure. A job retried to success contributes to Panics/TimedOut and
+	// Retried but not to Failures.
+	Panics   int64
+	TimedOut int64
+	Retried  int64
+	// CacheCorrupt counts corrupt or mis-addressed cache entries that were
+	// quarantined to <hash>.json.bad and re-simulated.
+	CacheCorrupt int64
+}
+
+// addJobs atomically adds submitted jobs.
+func (s *Stats) addJobs(n int) { atomic.AddInt64(&s.Jobs, int64(n)) }
+
+// accumulate atomically folds one job's terminal outcome into s. Run calls
+// it both for the live Options.Stats (as each job finishes) and for the
+// final tally it returns, so the two always agree.
+func (s *Stats) accumulate(out outcome) {
+	atomic.AddInt64(&s.Panics, int64(out.panics))
+	atomic.AddInt64(&s.TimedOut, int64(out.timeouts))
+	atomic.AddInt64(&s.CacheCorrupt, int64(out.corrupt))
+	if out.attempts > 1 {
+		atomic.AddInt64(&s.Retried, int64(out.attempts-1))
+	}
+	switch {
+	case out.err == nil && out.cached:
+		atomic.AddInt64(&s.CacheHits, 1)
+	case out.err == nil:
+		atomic.AddInt64(&s.Simulated, 1)
+	case canceledOutcome(out.err):
+		atomic.AddInt64(&s.Canceled, 1)
+	default:
+		atomic.AddInt64(&s.Failures, 1)
+	}
+}
+
+// Snapshot returns an atomically-read copy of s. This is the mid-run read
+// path: safe while a Run with Options.Stats == s is in flight.
+func (s *Stats) Snapshot() Stats {
+	return Stats{
+		Jobs:         atomic.LoadInt64(&s.Jobs),
+		Simulated:    atomic.LoadInt64(&s.Simulated),
+		CacheHits:    atomic.LoadInt64(&s.CacheHits),
+		Failures:     atomic.LoadInt64(&s.Failures),
+		Canceled:     atomic.LoadInt64(&s.Canceled),
+		Panics:       atomic.LoadInt64(&s.Panics),
+		TimedOut:     atomic.LoadInt64(&s.TimedOut),
+		Retried:      atomic.LoadInt64(&s.Retried),
+		CacheCorrupt: atomic.LoadInt64(&s.CacheCorrupt),
+	}
+}
+
+// Add accumulates other into s (for sweeps composed of several batches).
+// other must be quiescent; s may be concurrently observed through Snapshot
+// or Register gauges.
+func (s *Stats) Add(other Stats) {
+	atomic.AddInt64(&s.Jobs, other.Jobs)
+	atomic.AddInt64(&s.Simulated, other.Simulated)
+	atomic.AddInt64(&s.CacheHits, other.CacheHits)
+	atomic.AddInt64(&s.Failures, other.Failures)
+	atomic.AddInt64(&s.Canceled, other.Canceled)
+	atomic.AddInt64(&s.Panics, other.Panics)
+	atomic.AddInt64(&s.TimedOut, other.TimedOut)
+	atomic.AddInt64(&s.Retried, other.Retried)
+	atomic.AddInt64(&s.CacheCorrupt, other.CacheCorrupt)
+}
+
+func (s Stats) String() string {
+	str := fmt.Sprintf("%d jobs: %d simulated, %d cache hits, %d failed, %d canceled",
+		s.Jobs, s.Simulated, s.CacheHits, s.Failures, s.Canceled)
+	if s.Panics > 0 {
+		str += fmt.Sprintf(", %d panics", s.Panics)
+	}
+	if s.TimedOut > 0 {
+		str += fmt.Sprintf(", %d timed out", s.TimedOut)
+	}
+	if s.Retried > 0 {
+		str += fmt.Sprintf(", %d retried", s.Retried)
+	}
+	if s.CacheCorrupt > 0 {
+		str += fmt.Sprintf(", %d corrupt cache entries quarantined", s.CacheCorrupt)
+	}
+	return str
+}
+
+// Register exposes the stats through an obs metrics registry as runner_*
+// gauges. The gauges read with atomic loads, so — unlike simulation-owned
+// metrics — they are safe to snapshot while a Run with Options.Stats == s
+// is still in flight: this is what lets a live /metrics endpoint report
+// mid-sweep values instead of only end-of-run state. Register before or
+// after Run; values update as each job reaches a terminal state.
+func (s *Stats) Register(reg *obs.Registry) {
+	g := func(name string, p *int64) {
+		reg.Gauge("runner_"+name, nil, func() float64 { return float64(atomic.LoadInt64(p)) })
+	}
+	g("jobs", &s.Jobs)
+	g("simulated", &s.Simulated)
+	g("cache_hits", &s.CacheHits)
+	g("failures", &s.Failures)
+	g("canceled", &s.Canceled)
+	g("panics", &s.Panics)
+	g("timed_out", &s.TimedOut)
+	g("retried", &s.Retried)
+	g("cache_corrupt", &s.CacheCorrupt)
+}
