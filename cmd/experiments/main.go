@@ -32,6 +32,7 @@ func main() {
 	table2Timing := flag.Bool("table2-timing", false, "run the Table II timing-domain fault-injection campaign (Synergy vs ITESP DUE ordering)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation studies")
+	schemeSweep := flag.Bool("scheme-sweep", false, "run every registered secure-memory backend through the normalized-time sweep (Fig 8 machinery, N schemes)")
 	ops := flag.Uint64("ops", 50_000, "memory operations per core")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
 	seed := flag.Int64("seed", 42, "trace generation seed")
@@ -226,6 +227,12 @@ func main() {
 		}
 	case *ablations:
 		err = experiments.Ablations(o)
+	case *schemeSweep:
+		var v *experiments.Fig8Result
+		v, err = experiments.SweepSchemes(o)
+		if v != nil {
+			record("scheme_sweep", v.Schemes)
+		}
 	case *table2Timing:
 		var v *experiments.Table2TimingResult
 		v, err = experiments.Table2Timing(o)

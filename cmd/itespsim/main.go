@@ -87,7 +87,16 @@ func main() {
 	specPath := flag.String("spec", "", "load the run spec from this JSON file instead of the knob flags (\"-\" reads stdin)")
 	resultJSON := flag.String("result-json", "", "write the run's spec, content hash, and summary (a runner cache entry) to this file")
 	faults := flag.String("faults", "", "fault-injection campaign, e.g. n=16,kind=chip,seed=7,span=4096,scrub=100 (see README \"Reliability & fault injection\")")
+	listSchemes := flag.Bool("list-schemes", false, "print every registered scheme with its one-line description and exit")
 	flag.Parse()
+
+	if *listSchemes {
+		descs := core.Descriptions()
+		for _, name := range core.SchemeNames() {
+			fmt.Printf("%-16s %s\n", name, descs[name])
+		}
+		return
+	}
 
 	if *statusAddr == "" {
 		*statusAddr = *pprofAddr

@@ -1,0 +1,174 @@
+package core
+
+import "repro/internal/integrity"
+
+// The paper's scheme families, registered in Figure 8 order, then the
+// Morphable-counter configurations of Figure 11. Each Build follows the
+// Section IV methodology: the total security/reliability cache budget is
+// 16 KB per core, split per scheme. Registration order defines
+// SchemeNames() order, so new backends must be appended, never inserted;
+// package init order follows filename order, which is why this file sorts
+// before backend_servas.go and backend_tmebox.go (the registry-consistency
+// test pins the resulting order).
+func init() {
+	Register(backendFunc{
+		name: "nonsecure",
+		desc: "insecure DDR baseline: no metadata traffic at all",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{Name: "nonsecure"}, nil
+		},
+	})
+	Register(backendFunc{
+		name: "mee",
+		desc: "SGX-MEE-like baseline: deep 8-ary tree, separate MAC region, ECC in the 9th chip",
+		build: func(cores int) (Scheme, error) {
+			// Historical baseline: deep 8-ary tree, separate MAC region and
+			// MAC cache, conventional ECC in the 9th chip.
+			half := scaled(64, cores) / 2
+			return Scheme{
+				Name: "mee", Secure: true, Tree: integrity.MEE(),
+				MetaCacheKB: half, MACCacheKB: half,
+			}, nil
+		},
+	})
+	Register(backendFunc{
+		name: "vault",
+		desc: "VAULT: variable-arity tree, separate MAC region/cache, conventional ECC",
+		build: func(cores int) (Scheme, error) {
+			// 32 KB counter/tree cache + 32 KB MAC cache (4-core).
+			half := scaled(64, cores) / 2
+			return Scheme{
+				Name: "vault", Secure: true, Tree: integrity.VAULT(),
+				MetaCacheKB: half, MACCacheKB: half,
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "itvault",
+		desc: "VAULT with per-enclave isolated trees and partitioned caches",
+		build: func(cores int) (Scheme, error) {
+			half := scaled(64, cores) / 2
+			return Scheme{
+				Name: "itvault", Secure: true, Tree: integrity.VAULT(), Isolated: true,
+				MetaCacheKB: half, MACCacheKB: half,
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "synergy",
+		desc: "Synergy: MAC in ECC chip, uncached per-block parity on every write",
+		build: func(cores int) (Scheme, error) {
+			// MAC in ECC; 64 KB unified counter/tree cache; uncached
+			// per-block parity written on every data write.
+			return Scheme{
+				Name: "synergy", Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+				Parity: ParityPerBlock, MetaCacheKB: scaled(64, cores),
+			}, nil
+		},
+	}, "fig8", "fig11")
+	Register(backendFunc{
+		name: "itsynergy",
+		desc: "Synergy with per-enclave isolated trees",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "itsynergy", Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+				Isolated: true, Parity: ParityPerBlock, MetaCacheKB: scaled(64, cores),
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "itsynergy+pc",
+		desc: "isolated Synergy plus the coalescing parity write cache",
+		build: func(cores int) (Scheme, error) {
+			half := scaled(64, cores) / 2
+			return Scheme{
+				Name: "itsynergy+pc", Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+				Isolated: true, Parity: ParityPerBlock, ParityCached: true,
+				MetaCacheKB: half, ParityCacheKB: half,
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "sharedparity",
+		desc: "cross-rank shared parity (RAID-5-style RMW updates), Section III-C",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "sharedparity", Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+				Isolated: true, Parity: ParityShared, ParityShare: 16,
+				MetaCacheKB: scaled(64, cores),
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "sharedparity+pc",
+		desc: "shared parity plus the coalescing parity write cache",
+		build: func(cores int) (Scheme, error) {
+			half := scaled(64, cores) / 2
+			return Scheme{
+				Name: "sharedparity+pc", Secure: true, Tree: integrity.VAULT(), MACInECC: true,
+				Isolated: true, Parity: ParityShared, ParityShare: 16, ParityCached: true,
+				MetaCacheKB: half, ParityCacheKB: half,
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "itesp",
+		desc: "the proposal: isolated trees with embedded shared parity in tree leaves",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "itesp", Secure: true, Tree: integrity.ITESP(), MACInECC: true,
+				Isolated: true, Parity: ParityEmbedded, MetaCacheKB: scaled(64, cores),
+			}, nil
+		},
+	}, "fig8")
+	Register(backendFunc{
+		name: "itesp4p",
+		desc: "ITESP variant embedding four parities per leaf node",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "itesp4p", Secure: true, Tree: integrity.ITESP4P(), MACInECC: true,
+				Isolated: true, Parity: ParityEmbedded, MetaCacheKB: scaled(64, cores),
+			}, nil
+		},
+	})
+	Register(backendFunc{
+		name: "syn128",
+		desc: "Synergy on 128-ary morphable counters with overflow accounting (Fig 11)",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "syn128", Secure: true, Tree: integrity.SYN128(), MACInECC: true,
+				Parity: ParityPerBlock, MetaCacheKB: scaled(64, cores), ModelOverflow: true,
+			}, nil
+		},
+	}, "fig11")
+	Register(backendFunc{
+		name: "syn128iso",
+		desc: "isolated-tree syn128 (Fig 11)",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "syn128iso", Secure: true, Tree: integrity.SYN128(), MACInECC: true,
+				Isolated: true, Parity: ParityPerBlock, MetaCacheKB: scaled(64, cores), ModelOverflow: true,
+			}, nil
+		},
+	}, "fig11")
+	Register(backendFunc{
+		name: "itesp64",
+		desc: "ITESP on 64-ary morphable counters (Fig 11)",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "itesp64", Secure: true, Tree: integrity.ITESP64(), MACInECC: true,
+				Isolated: true, Parity: ParityEmbedded, MetaCacheKB: scaled(64, cores), ModelOverflow: true,
+			}, nil
+		},
+	}, "fig11")
+	Register(backendFunc{
+		name: "itesp128",
+		desc: "ITESP on 128-ary morphable counters (Fig 11)",
+		build: func(cores int) (Scheme, error) {
+			return Scheme{
+				Name: "itesp128", Secure: true, Tree: integrity.ITESP128(), MACInECC: true,
+				Isolated: true, Parity: ParityEmbedded, MetaCacheKB: scaled(64, cores), ModelOverflow: true,
+			}, nil
+		},
+	}, "fig11")
+}

@@ -44,6 +44,10 @@ type Engine struct {
 	geom   addrmap.Geometry
 	scheme Scheme
 
+	// traffic is the scheme family's metadata-traffic strategy (nil for
+	// the non-secure baseline); see traffic.go and the backend registry.
+	traffic TrafficModel
+
 	// trees[i] is enclave i's tree under isolation; trees[0] is the single
 	// shared tree otherwise.
 	trees    []*integrity.Tree
@@ -58,6 +62,7 @@ type Engine struct {
 
 	macBase    mem.PhysAddr
 	parityBase mem.PhysAddr
+	keyBase    mem.PhysAddr // key-table base (multi-key schemes)
 
 	// spill is a ring buffer of transactions awaiting DRAM queue space;
 	// its capacity is a power of two and entries live in issue order at
@@ -152,44 +157,8 @@ func New(cfg Config, dmem *dram.Memory, encl *enclave.System) (*Engine, error) {
 	dataBlocks := cfg.DataPages * mem.BlocksPage
 	next := mem.PhysAddr(dataBlocks * mem.BlockSize)
 
-	if !cfg.Scheme.MACInECC {
-		e.macBase = next
-		macBlocks := (dataBlocks + mac64PerBlock - 1) / mac64PerBlock
-		next += mem.PhysAddr(macBlocks * mem.BlockSize)
-	}
-
-	e.parityStride = parityStride(cfg.Policy, shareOf(cfg.Scheme))
-	switch cfg.Scheme.Parity {
-	case ParityPerBlock:
-		e.layout = parity.NewLayout(1, 1, 0)
-		e.parityBase = next
-		e.layout.Base = next
-		next += mem.PhysAddr(e.layout.StorageBlocks(dataBlocks) * mem.BlockSize)
-	case ParityShared:
-		e.layout = parity.NewLayout(cfg.Scheme.ParityShare, e.parityStride, 0)
-		e.parityBase = next
-		e.layout.Base = next
-		next += mem.PhysAddr(e.layout.StorageBlocks(dataBlocks) * mem.BlockSize)
-	case ParityEmbedded:
-		e.layout = parity.NewLayout(cfg.Scheme.Tree.ParityShare, e.parityStride, 0)
-	}
-
-	nTrees := 1
-	treeBlocks := dataBlocks
-	if cfg.Scheme.Isolated {
-		nTrees = cfg.Cores
-		treeBlocks = (dataBlocks + uint64(cfg.Cores) - 1) / uint64(cfg.Cores)
-	}
-	for i := 0; i < nTrees; i++ {
-		t := integrity.NewTree(cfg.Scheme.Tree, treeBlocks, next)
-		next += mem.PhysAddr(t.SizeBlocks() * mem.BlockSize)
-		e.trees = append(e.trees, t)
-		if cfg.Scheme.Tree.Morphable {
-			e.counters = append(e.counters, integrity.NewMorphableStore(cfg.Scheme.Tree))
-		} else {
-			e.counters = append(e.counters, integrity.NewCounterStore(cfg.Scheme.Tree))
-		}
-	}
+	e.traffic = trafficFor(cfg.Scheme)
+	next = e.traffic.Layout(e, dataBlocks, next)
 	if uint64(next) > e.geom.CapacityBytes() {
 		return nil, fmt.Errorf("core: data (%d pages) + metadata (%d MB) exceed DRAM capacity %d MB",
 			cfg.DataPages, uint64(next)>>20, e.geom.CapacityBytes()>>20)
@@ -356,34 +325,13 @@ func (e *Engine) Access(core int, rec trace.Record) (token uint64, accepted bool
 	e.pushData(pa, rec.Type, id, core, gid)
 
 	if e.scheme.Secure {
-		treeIdx, local := e.treeLocal(core, pte, pa)
-		macMissed := false
-		if !e.scheme.MACInECC {
-			macMissed = e.handleMAC(core, pa, isWrite, id, gid)
-			if macMissed && e.tr != nil {
-				e.tr.Instant(e.trTracks[core], "mac.fetch")
-			}
-		}
-		depth := e.handleTree(treeIdx, local, isWrite, id, core, gid)
-		if depth > 0 && e.tr != nil {
-			e.tr.InstantArg(e.trTracks[core], "tree.walk", "levels", int64(depth))
-		}
-		if isWrite {
-			if e.scheme.ModelOverflow {
-				e.counters[treeIdx].Write(local)
-			}
-			e.handleParity(treeIdx, local, pa, id, core)
-			e.Stats.DataWrites.Inc()
-		} else {
-			e.Stats.DataReads.Inc()
-		}
+		macMissed, depth := e.traffic.OnAccess(e, core, pa, pte, isWrite, id, gid)
 		e.Stats.recordPattern(isWrite, macMissed, depth)
+	}
+	if isWrite {
+		e.Stats.DataWrites.Inc()
 	} else {
-		if isWrite {
-			e.Stats.DataWrites.Inc()
-		} else {
-			e.Stats.DataReads.Inc()
-		}
+		e.Stats.DataReads.Inc()
 	}
 
 	return token, true, nil

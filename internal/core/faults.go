@@ -27,8 +27,9 @@ func (e *Engine) Faults() *fault.Controller { return e.faults }
 func (e *Engine) ParityLayout() parity.Layout { return e.layout }
 
 // CanDetectFaults reports whether the scheme carries MACs that flag
-// corrupted fetches (every secure scheme; MAC-in-ECC or separate region).
-func (e *Engine) CanDetectFaults() bool { return e.scheme.Secure }
+// corrupted fetches (MAC-in-ECC, separate region, or authenticryption
+// tags). Encryption-only schemes (NoMAC, e.g. tmebox) cannot detect.
+func (e *Engine) CanDetectFaults() bool { return e.scheme.Secure && !e.scheme.NoMAC }
 
 // CanCorrectFaults reports whether the scheme has correction parity.
 func (e *Engine) CanCorrectFaults() bool {

@@ -8,8 +8,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/integrity"
 )
 
@@ -78,6 +76,21 @@ type Scheme struct {
 	// penalties (used for the Morphable-counter studies of Fig 11).
 	ModelOverflow bool
 
+	// NoTree marks treeless authenticryption families (SERVAS): per-block
+	// MACs provide integrity directly, so no integrity-tree metadata
+	// exists and data accesses generate no tree-walk traffic. The json
+	// omitempty tags on this and the following fields keep the canonical
+	// runspec serialization — and therefore every pre-existing spec hash —
+	// unchanged for schemes that do not use them.
+	NoTree bool `json:",omitempty"`
+	// NoMAC marks encryption-only families (TME-Box) that carry no
+	// integrity MACs at all; such schemes cannot detect faults.
+	NoMAC bool `json:",omitempty"`
+	// KeyDomains is the number of in-process encryption-key domains of a
+	// TME-Box-style multi-key scheme; the engine models a key table in
+	// DRAM fronted by an on-chip key cache. Zero for single-key schemes.
+	KeyDomains int `json:",omitempty"`
+
 	// Cache capacities in KB, totals across all cores. Zero disables the
 	// respective cache.
 	MetaCacheKB   int
@@ -87,108 +100,3 @@ type Scheme struct {
 
 // scaled multiplies the paper's 4-core cache budget for other core counts.
 func scaled(kb4core, cores int) int { return kb4core * cores / 4 }
-
-// SchemeByName returns the named scheme configured for the given core
-// count, following the Section IV methodology: the total
-// security/reliability cache budget is 16 KB per core, split per scheme.
-//
-// Names: nonsecure, vault, itvault, synergy, itsynergy, itsynergy+pc,
-// sharedparity, sharedparity+pc, itesp, itesp4p, syn128, syn128iso,
-// itesp64, itesp128.
-func SchemeByName(name string, cores int) (Scheme, error) {
-	budget := scaled(64, cores) // 16 KB per core
-	half := budget / 2
-	switch name {
-	case "nonsecure":
-		return Scheme{Name: name}, nil
-	case "mee":
-		// SGX-MEE-like historical baseline: deep 8-ary tree, separate MAC
-		// region and MAC cache, conventional ECC in the 9th chip.
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.MEE(),
-			MetaCacheKB: half, MACCacheKB: half,
-		}, nil
-	case "vault":
-		// 32 KB counter/tree cache + 32 KB MAC cache (4-core).
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(),
-			MetaCacheKB: half, MACCacheKB: half,
-		}, nil
-	case "itvault":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(), Isolated: true,
-			MetaCacheKB: half, MACCacheKB: half,
-		}, nil
-	case "synergy":
-		// MAC in ECC; 64 KB unified counter/tree cache; uncached per-block
-		// parity written on every data write.
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
-			Parity: ParityPerBlock, MetaCacheKB: budget,
-		}, nil
-	case "itsynergy":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
-			Isolated: true, Parity: ParityPerBlock, MetaCacheKB: budget,
-		}, nil
-	case "itsynergy+pc":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
-			Isolated: true, Parity: ParityPerBlock, ParityCached: true,
-			MetaCacheKB: half, ParityCacheKB: half,
-		}, nil
-	case "sharedparity":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
-			Isolated: true, Parity: ParityShared, ParityShare: 16,
-			MetaCacheKB: budget,
-		}, nil
-	case "sharedparity+pc":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.VAULT(), MACInECC: true,
-			Isolated: true, Parity: ParityShared, ParityShare: 16, ParityCached: true,
-			MetaCacheKB: half, ParityCacheKB: half,
-		}, nil
-	case "itesp":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.ITESP(), MACInECC: true,
-			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget,
-		}, nil
-	case "itesp4p":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.ITESP4P(), MACInECC: true,
-			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget,
-		}, nil
-	case "syn128":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.SYN128(), MACInECC: true,
-			Parity: ParityPerBlock, MetaCacheKB: budget, ModelOverflow: true,
-		}, nil
-	case "syn128iso":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.SYN128(), MACInECC: true,
-			Isolated: true, Parity: ParityPerBlock, MetaCacheKB: budget, ModelOverflow: true,
-		}, nil
-	case "itesp64":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.ITESP64(), MACInECC: true,
-			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget, ModelOverflow: true,
-		}, nil
-	case "itesp128":
-		return Scheme{
-			Name: name, Secure: true, Tree: integrity.ITESP128(), MACInECC: true,
-			Isolated: true, Parity: ParityEmbedded, MetaCacheKB: budget, ModelOverflow: true,
-		}, nil
-	}
-	return Scheme{}, fmt.Errorf("core: unknown scheme %q", name)
-}
-
-// SchemeNames lists all selectable schemes in Figure 8 order followed by
-// the Morphable-counter configurations of Figure 11.
-func SchemeNames() []string {
-	return []string{
-		"nonsecure", "mee", "vault", "itvault", "synergy", "itsynergy",
-		"itsynergy+pc", "sharedparity", "sharedparity+pc", "itesp", "itesp4p",
-		"syn128", "syn128iso", "itesp64", "itesp128",
-	}
-}

@@ -29,12 +29,13 @@ func ablationBenches(o Options) []workload.Spec {
 // geoNorm runs mk's configuration against a non-secure baseline per
 // benchmark (one runner batch, so the cache and worker pool apply) and
 // returns the geomean normalized time plus the per-benchmark summaries in
-// spec order.
+// spec order. The core count follows o.Cores (paper default 4), so every
+// ablation works at other core counts.
 func geoNorm(o Options, specs []workload.Spec, mk func(spec workload.Spec) runspec.Spec) (float64, []*sim.Summary, error) {
 	var jobs []job
 	for _, spec := range specs {
 		jobs = append(jobs, job{key: "nonsecure/" + spec.Name, spec: runspec.Spec{
-			Scheme: "nonsecure", Benchmark: spec.Name, Cores: 4, Channels: 1,
+			Scheme: "nonsecure", Benchmark: spec.Name, Cores: o.cores(4), Channels: 1,
 			OpsPerCore: o.ops(), Seed: o.seed(),
 		}})
 		jobs = append(jobs, job{key: "cfg/" + spec.Name, spec: mk(spec)})
@@ -69,7 +70,7 @@ func AblationParityShare(o Options) ([]AblationRow, error) {
 	for _, n := range []int{1, 4, 8, 16} {
 		n := n
 		g, _, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
-			scheme, err := core.SchemeByName("sharedparity+pc", 4)
+			scheme, err := core.SchemeByName("sharedparity+pc", o.cores(4))
 			if err != nil {
 				panic(err)
 			}
@@ -79,7 +80,7 @@ func AblationParityShare(o Options) ([]AblationRow, error) {
 				scheme.Parity = core.ParityPerBlock
 			}
 			return runspec.Spec{SchemeOverride: &scheme, Benchmark: spec.Name,
-				Cores: 4, Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
+				Cores: o.cores(4), Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
 		})
 		if err != nil {
 			return nil, err
@@ -106,7 +107,7 @@ func AblationITESPLeaf(o Options) ([]AblationRow, error) {
 	} {
 		cfg := cfg
 		g, rs, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
-			return runspec.Spec{Scheme: cfg.scheme, Benchmark: spec.Name, Cores: 4,
+			return runspec.Spec{Scheme: cfg.scheme, Benchmark: spec.Name, Cores: o.cores(4),
 				Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
 		})
 		if err != nil {
@@ -136,7 +137,7 @@ func AblationStrictVerify(o Options) ([]AblationRow, error) {
 	for _, strict := range []bool{false, true} {
 		strict := strict
 		g, _, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
-			return runspec.Spec{Scheme: "itesp", Benchmark: spec.Name, Cores: 4,
+			return runspec.Spec{Scheme: "itesp", Benchmark: spec.Name, Cores: o.cores(4),
 				Channels: 1, OpsPerCore: o.ops(), Seed: o.seed(), StrictVerify: strict}
 		})
 		if err != nil {
@@ -173,7 +174,7 @@ func AblationIsolationParts(o Options) ([]AblationRow, error) {
 	} {
 		cfg := cfg
 		g, _, err := geoNorm(o, specs, func(spec workload.Spec) runspec.Spec {
-			scheme, err := core.SchemeByName(cfg.scheme, 4)
+			scheme, err := core.SchemeByName(cfg.scheme, o.cores(4))
 			if err != nil {
 				panic(err)
 			}
@@ -181,7 +182,7 @@ func AblationIsolationParts(o Options) ([]AblationRow, error) {
 				cfg.override(&scheme)
 			}
 			return runspec.Spec{SchemeOverride: &scheme, Benchmark: spec.Name,
-				Cores: 4, Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
+				Cores: o.cores(4), Channels: 1, OpsPerCore: o.ops(), Seed: o.seed()}
 		})
 		if err != nil {
 			return nil, err

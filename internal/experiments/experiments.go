@@ -180,6 +180,15 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
+// cores resolves the core count: the -cores override if set, otherwise the
+// experiment's paper default.
+func (o Options) cores(def int) int {
+	if o.Cores > 0 {
+		return o.Cores
+	}
+	return def
+}
+
 func (o Options) benchList(defaults []string) []workload.Spec {
 	names := o.Benchmarks
 	if names == nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/covert"
 	"repro/internal/mem"
 	"repro/internal/runspec"
@@ -11,11 +12,10 @@ import (
 	"repro/internal/workload"
 )
 
-// Fig8Schemes are the eight secure configurations of Figure 8, in order.
-var Fig8Schemes = []string{
-	"vault", "itvault", "synergy", "itsynergy",
-	"itsynergy+pc", "sharedparity", "sharedparity+pc", "itesp",
-}
+// Fig8Schemes are the eight secure configurations of Figure 8, in order —
+// derived from the backend registry's "fig8" tag, so a backend registered
+// with that tag joins the figure without touching this package.
+var Fig8Schemes = core.NamesTagged("fig8")
 
 // SchemeResult is one scheme's summary across benchmarks.
 type SchemeResult struct {
@@ -153,7 +153,7 @@ type Fig9Row struct {
 // Fig9 reproduces Figure 9: the breakdown of data+metadata accesses per
 // read/write operation, averaged over the top-15 benchmarks.
 func Fig9(o Options) ([]Fig9Row, error) {
-	schemes := []string{"vault", "itvault", "synergy", "itsynergy", "itsynergy+pc", "sharedparity", "sharedparity+pc", "itesp"}
+	schemes := Fig8Schemes
 	r, err := runNormalized(o, schemes, workload.TopMemoryIntensive(), 4, 1)
 	if err != nil {
 		return nil, err
@@ -251,8 +251,9 @@ func Fig10(o Options) (*Fig10Result, error) {
 	return out, nil
 }
 
-// Fig11Schemes are the Morphable-Counter configurations of Figure 11.
-var Fig11Schemes = []string{"synergy", "syn128", "syn128iso", "itesp64", "itesp128"}
+// Fig11Schemes are the Morphable-Counter configurations of Figure 11,
+// derived from the backend registry's "fig11" tag.
+var Fig11Schemes = core.NamesTagged("fig11")
 
 // Fig11 reproduces Figure 11: execution time (including local-counter
 // overflow penalties) for Synergy and the Morphable-Counter family on an

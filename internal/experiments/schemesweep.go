@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// SweepSchemes runs every registered secure backend — the Figure 8 and
+// Figure 11 families plus the post-paper ones (SERVAS, TME-Box) — through
+// the normalized-execution-time machinery: one N-scheme comparison where N
+// is whatever the registry holds, which is the ROADMAP's "every figure
+// becomes an N-scheme comparison for free" unlock. Defaults to the top-15
+// memory-intensive benchmarks at the paper's 4-core / 1-channel system.
+func SweepSchemes(o Options) (*Fig8Result, error) {
+	var schemes []string
+	for _, name := range core.SchemeNames() {
+		if name == "nonsecure" {
+			continue // runNormalized adds the baseline itself
+		}
+		schemes = append(schemes, name)
+	}
+	r, err := runNormalized(o, schemes, workload.TopMemoryIntensive(), 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	specs := o.benchList(workload.TopMemoryIntensive())
+	printNormTable(o, fmt.Sprintf("Scheme sweep: normalized execution time, all %d registered backends", len(schemes)),
+		schemes, specs, r)
+	w := o.writer()
+	descs := core.Descriptions()
+	fmt.Fprintln(w)
+	for _, s := range schemes {
+		fmt.Fprintf(w, "%-16s %s\n", s, descs[s])
+	}
+	return r, nil
+}

@@ -14,10 +14,12 @@ import (
 
 // goldenConfigs are the reduced-scale runs whose summaries are pinned in
 // testdata. They cover the four scheme families the hot loop specializes
-// for (VAULT, Synergy/Morphable, ITESP, isolation) plus a DDR4 run (3:1
-// CPU:DRAM clock ratio) and an LLC-filtered run, so any change to the tick
-// path, token routing, or idle fast-forward that shifts simulated time by
-// even one cycle fails the comparison.
+// for (VAULT, Synergy/Morphable, ITESP, isolation), the two post-paper
+// backend families with structurally different traffic (SERVAS treeless
+// MACs, TME-Box key domains), plus a DDR4 run (3:1 CPU:DRAM clock ratio)
+// and an LLC-filtered run, so any change to the tick path, token routing,
+// or idle fast-forward that shifts simulated time by even one cycle fails
+// the comparison.
 func goldenConfigs(t *testing.T) map[string]Config {
 	t.Helper()
 	spec, err := workload.ByName("mcf")
@@ -32,7 +34,7 @@ func goldenConfigs(t *testing.T) map[string]Config {
 		Seed:       11,
 	}
 	cfgs := map[string]Config{}
-	for _, s := range []string{"vault", "synergy", "itesp", "syn128iso"} {
+	for _, s := range []string{"vault", "synergy", "itesp", "syn128iso", "servas", "tmebox"} {
 		c := base
 		c.SchemeName = s
 		cfgs[s] = c

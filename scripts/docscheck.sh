@@ -6,8 +6,11 @@
 #     undocumented.
 #  2. Link rot: every relative markdown link in the top-level docs must
 #     resolve to an existing file in the repository.
+#  3. Scheme-registry drift: every scheme in the backend registry
+#     (`itespsim -list-schemes`) must appear in README.md's scheme table,
+#     so registering a backend without documenting it fails CI.
 #
-# POSIX sh + grep/sed only; no external link checker.
+# POSIX sh + grep/sed only (plus the repo's own go toolchain for step 3).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -42,6 +45,21 @@ for doc in README.md DESIGN.md EXPERIMENTS.md ROADMAP.md CHANGES.md; do
             fail=1
         fi
     done
+done
+
+# --- 3. registered schemes are documented in README.md --------------------
+schemes=$(go run ./cmd/itespsim -list-schemes | awk '{print $1}')
+if [ -z "$schemes" ]; then
+    echo "docscheck: 'itespsim -list-schemes' produced no schemes" >&2
+    fail=1
+fi
+for s in $schemes; do
+    # Scheme names appear in backticks in README's scheme table; names can
+    # contain '+', so match as a fixed string.
+    if ! grep -qF "\`$s\`" README.md; then
+        echo "docscheck: scheme $s (registered in internal/core) is not documented in README.md" >&2
+        fail=1
+    fi
 done
 
 if [ "$fail" -ne 0 ]; then
