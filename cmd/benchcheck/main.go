@@ -33,6 +33,12 @@ type benchFile struct {
 	Current struct {
 		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
 	} `json:"current"`
+	// Scaling is the TickWorkers scaling curve recorded by scripts/bench.sh.
+	// It is forwarded verbatim into the delta report and never judged for
+	// regressions: the curve is informational trajectory data. Like any
+	// other unknown or future section, its absence — or additional keys
+	// benchcheck does not know about — must not fail the report.
+	Scaling json.RawMessage `json:"scaling,omitempty"`
 }
 
 // Delta is one benchmark's baseline-vs-current comparison. Regression is
@@ -59,13 +65,16 @@ type Report struct {
 	Deltas        []Delta  `json:"deltas"`
 	OnlyBaseline  []string `json:"only_in_baseline,omitempty"`
 	OnlyCurrent   []string `json:"only_in_current,omitempty"`
+	// Scaling forwards the bench file's TickWorkers scaling section
+	// (non-gating, informational) into the published artifact.
+	Scaling json.RawMessage `json:"scaling,omitempty"`
 }
 
 // compare builds the delta report for every benchmark present in both the
 // baseline and the current run. maxRegress is the ns/op slowdown threshold
 // (percent) above which a delta counts as a regression.
 func compare(f *benchFile, maxRegress float64) Report {
-	r := Report{Mode: f.Mode, GoVersion: f.GoVersion, CPU: f.CPU, MaxRegressPct: maxRegress}
+	r := Report{Mode: f.Mode, GoVersion: f.GoVersion, CPU: f.CPU, MaxRegressPct: maxRegress, Scaling: f.Scaling}
 	for name, base := range f.Baseline.Benchmarks {
 		cur, ok := f.Current.Benchmarks[name]
 		if !ok {
@@ -120,6 +129,9 @@ func (r Report) print() {
 	}
 	if len(r.OnlyBaseline) > 0 {
 		fmt.Printf("in baseline only (renamed or removed): %v\n", r.OnlyBaseline)
+	}
+	if len(r.Scaling) > 0 {
+		fmt.Println("scaling section present (TickWorkers curve) — forwarded to the report, not gated")
 	}
 	if r.Mode == "smoke" {
 		fmt.Println("note: smoke mode (-benchtime=1x) — microbenchmark timings are noise; only the Fig 8 number is a full sweep")

@@ -90,3 +90,32 @@ func TestCompareReportRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: %+v", back)
 	}
 }
+
+func TestUnknownSectionsTolerated(t *testing.T) {
+	// A bench file carrying sections benchcheck predates (here "scaling"
+	// plus a hypothetical future key) must parse and compare cleanly; the
+	// scaling section is forwarded into the report untouched.
+	var f benchFile
+	if err := json.Unmarshal([]byte(`{
+		"mode": "full",
+		"future_section": {"anything": [1, 2, 3]},
+		"baseline": {"benchmarks": {"BenchmarkX": {"ns_per_op": 100}}},
+		"current":  {"benchmarks": {"BenchmarkX": {"ns_per_op": 90}}},
+		"scaling": {"points": [{"tick_workers": 1, "fig8_wall_s": 3.0}]}
+	}`), &f); err != nil {
+		t.Fatal(err)
+	}
+	r := compare(&f, 10)
+	if len(r.Deltas) != 1 || r.Regressions != 0 {
+		t.Fatalf("compare: %+v", r)
+	}
+	if len(r.Scaling) == 0 {
+		t.Fatal("scaling section was not forwarded into the report")
+	}
+	var sc struct {
+		Points []map[string]float64 `json:"points"`
+	}
+	if err := json.Unmarshal(r.Scaling, &sc); err != nil || len(sc.Points) != 1 {
+		t.Fatalf("forwarded scaling unusable: %v %+v", err, sc)
+	}
+}

@@ -36,7 +36,9 @@ func main() {
 	ops := flag.Uint64("ops", 50_000, "memory operations per core")
 	bench := flag.String("bench", "", "comma-separated benchmark subset (default: experiment's own)")
 	seed := flag.Int64("seed", 42, "trace generation seed")
-	parallel := flag.Int("parallel", 0, "concurrent simulations (default: CPUs-1)")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (default: CPUs-1; clamped so parallel × tick-workers fits the machine)")
+	tickWorkers := flag.Int("tick-workers", 0, "tick independent DRAM channels inside each run on this many parallel workers (0/1 = serial; bit-identical results; effective only for multi-channel runs)")
+	batch := flag.Bool("batch", false, "share trace generation across jobs with the same (benchmark, seed, cores, ops) key instead of regenerating per run")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	metricsDir := flag.String("metrics", "", "write a per-run metrics snapshot JSON under this directory")
 	timeseriesDir := flag.String("timeseries", "", "write a per-run epoch time-series CSV under this directory")
@@ -107,6 +109,8 @@ func main() {
 		OpsPerCore:  *ops,
 		Seed:        *seed,
 		Parallel:    *parallel,
+		TickWorkers: *tickWorkers,
+		BatchTraces: *batch,
 		CacheDir:    *cacheDir,
 		KeepGoing:   *keepGoing,
 		Ctx:         ctx,

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"os"
 	"strconv"
+	"sync"
 
 	"repro/internal/addrmap"
 	"repro/internal/mem"
@@ -39,6 +41,13 @@ type Config struct {
 	// reaches HighWM the channel drains writes until LowWM.
 	HighWM int
 	LowWM  int
+	// TickWorkers, when > 1, ticks independent channels on a persistent
+	// worker pool with a cycle barrier (see parallel.go). Results are
+	// bit-identical to serial execution; the knob trades goroutines for
+	// wall-clock on multi-channel configurations and is clamped to the
+	// channel count. 0 or 1 means serial. Callers that enable it must
+	// call Close when done with the Memory to stop the workers.
+	TickWorkers int
 }
 
 // DefaultConfig returns the Table III configuration for the given channel
@@ -184,22 +193,37 @@ func (bl *bankList) recompute(bk *bank) {
 	}
 }
 
-// rankSched caches one rank's earliest class release times for one queue
-// direction: hRel is the earliest cycle a row-hit column command could
-// issue ignoring the shared data bus (the bus gate has only two per-scan
-// values, same-rank and cross-rank, applied live), pRel the earliest PRE,
-// aRel the earliest ACT (MaxUint64 while a refresh is pending). A value of
-// MaxUint64 also means the class has no candidates. Every term is an
-// absolute timer whose inputs change only when a command issues on the
-// rank, a transaction arrives for it, or its refresh state changes — each
-// of which invalidates the entry — so a valid entry lets the scan skip the
-// rank's banks entirely when no class has matured.
-type rankSched struct {
-	valid bool
-	hRel  uint64
-	pRel  uint64
-	aRel  uint64
-}
+// Per-rank cached class release times live in two flat uint64 arrays per
+// queue direction (relHit*/relOther* on channel) so the scheduler's
+// every-scan fold touches a handful of contiguous cache lines instead of a
+// struct per rank. relHit[r] is the earliest cycle a row-hit column command
+// could issue ignoring the shared data bus (the bus gate has only two
+// per-scan values, same-rank and cross-rank, applied live); relOther[r] is
+// the earlier of the rank's PRE and ACT releases (ACT counts as MaxUint64
+// while a refresh is pending). MaxUint64 also means the class has no
+// candidates. Every term is an absolute timer over state that changes only
+// when a command issues on the rank, a transaction arrives for it, or its
+// refresh state changes, so a cached entry lets the scan skip the rank's
+// banks entirely while no class has matured. Entries are invalidated by
+// zeroing relOther (zero always reads as matured, forcing the walk that
+// rebuilds both values); arrivals instead fold the newcomer's bank timer in
+// as a conservatively early bound.
+//
+// Alongside the release times, each rank also caches the class
+// representatives themselves (colRep*/anyRep*): the minimum-seq member of
+// each class that is ready ignoring the shared data bus. Within a rank the
+// bus gate is uniform, so the ready set of a class — and therefore its
+// min-seq representative — can change over time only when a member's own
+// release crosses now. repUntil* records the earliest such future crossing
+// (the first "joiner"); while now < repUntil and no state-changing event
+// has hit the rank, the cached representatives are exactly what a walk
+// would pick, so a matured rank costs one pointer compare instead of a
+// bank walk. Unlike the release times, representatives have no safe stale
+// direction (issuing a stale candidate would violate timing), so every
+// event that mutates rank-local scheduler state zeroes repUntil: any
+// command issued on the rank (column issues remove the representative and
+// raise bank/wtr timers), an arrival for the rank, a refresh drain PRE, a
+// REF issue, and the refPending flip (which withholds ACT candidates).
 
 // channel is one DDR channel: queues, banks, bus, and scheduler state.
 type channel struct {
@@ -221,8 +245,28 @@ type channel struct {
 	busyWrite []uint64
 	rankOf    []uint16
 	banks     []bank // contiguous bank states; rank.banks alias into it
-	rsRead    []rankSched
-	rsWrite   []rankSched
+	// Cached per-rank class releases (see the comment above channel): one
+	// hit/other pair per direction, carved from a single backing array so
+	// the whole fast path spans eight consecutive cache lines.
+	relHitR   []uint64
+	relOtherR []uint64
+	relHitW   []uint64
+	relOtherW []uint64
+	// relNext*[r] = min(relHit*[r], relOther*[r]), maintained alongside the
+	// pair so the scan's common case — a rank with nothing matured and the
+	// bus gate clear — costs a single load and compare.
+	relNextR []uint64
+	relNextW []uint64
+	// Cached per-rank class representatives with their validity horizon
+	// (see the comment above channel). repUntil==0 means invalid.
+	colRepR   []*Txn
+	colRepW   []*Txn
+	anyRepR   []*Txn
+	anyRepW   []*Txn
+	anyCmdR   []cmd
+	anyCmdW   []cmd
+	repUntilR []uint64
+	repUntilW []uint64
 	seq       uint64 // arrival counter feeding Txn.seq
 
 	// rankBusyRead/rankBusyWrite summarize the bank bitmaps one level up:
@@ -286,6 +330,14 @@ type Memory struct {
 	cfg      Config
 	channels []*channel
 	now      uint64 // current DRAM cycle
+
+	// pool is the channel-parallel tick pool (nil when serial). It is
+	// created lazily on the first Tick so that attachments made between
+	// New and the run (a shared event tracer is not safe to write from
+	// multiple workers) can force the serial path via serialOnly.
+	pool       *tickPool
+	poolOnce   sync.Once
+	serialOnly bool
 }
 
 // New builds a memory system from cfg.
@@ -295,6 +347,18 @@ func New(cfg Config) *Memory {
 	}
 	if cfg.LowWM >= cfg.HighWM || cfg.HighWM > cfg.WriteQ {
 		panic(fmt.Sprintf("dram: bad watermarks low=%d high=%d cap=%d", cfg.LowWM, cfg.HighWM, cfg.WriteQ))
+	}
+	// ITESP_TICK_WORKERS forces channel-parallel ticking for every Memory
+	// whose config leaves TickWorkers unset. It exists so CI can run the
+	// ordinary test suites with the parallel tick path engaged under the
+	// race detector; results are bit-identical either way, so every test
+	// must still pass.
+	if cfg.TickWorkers == 0 {
+		if v := os.Getenv("ITESP_TICK_WORKERS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				cfg.TickWorkers = n
+			}
+		}
 	}
 	m := &Memory{cfg: cfg}
 	for c := 0; c < cfg.Geom.Channels; c++ {
@@ -306,8 +370,18 @@ func New(cfg Config) *Memory {
 		ch.busyRead = make([]uint64, (nb+63)/64)
 		ch.busyWrite = make([]uint64, (nb+63)/64)
 		ch.rankOf = make([]uint16, nb)
-		ch.rsRead = make([]rankSched, cfg.Geom.RanksPerChan)
-		ch.rsWrite = make([]rankSched, cfg.Geom.RanksPerChan)
+		rel := make([]uint64, 6*cfg.Geom.RanksPerChan)
+		nr := cfg.Geom.RanksPerChan
+		ch.relHitR, ch.relOtherR = rel[0:nr], rel[nr:2*nr]
+		ch.relHitW, ch.relOtherW = rel[2*nr:3*nr], rel[3*nr:4*nr]
+		ch.relNextR, ch.relNextW = rel[4*nr:5*nr], rel[5*nr:6*nr]
+		reps := make([]*Txn, 4*nr)
+		ch.colRepR, ch.colRepW = reps[0:nr], reps[nr:2*nr]
+		ch.anyRepR, ch.anyRepW = reps[2*nr:3*nr], reps[3*nr:4*nr]
+		cmds := make([]cmd, 2*nr)
+		ch.anyCmdR, ch.anyCmdW = cmds[0:nr], cmds[nr:2*nr]
+		ru := make([]uint64, 2*nr)
+		ch.repUntilR, ch.repUntilW = ru[0:nr], ru[nr:2*nr]
 		if cfg.Geom.RanksPerChan > 64 {
 			panic("dram: rank occupancy bitmap supports at most 64 ranks per channel")
 		}
@@ -349,6 +423,13 @@ func (m *Memory) AttachCheckers() []*Checker {
 // emits an instant event to tr on the matching channel track. Both may be
 // nil. Observation is read-only and never alters scheduling decisions.
 func (m *Memory) AttachObs(reg *obs.Registry, tr *obs.Tracer, chanTracks []obs.TrackID) {
+	if tr != nil {
+		// The tracer is one shared event ring; channel workers must not
+		// write it concurrently, so a traced run ticks serially. Stats
+		// registration is fine either way: each counter belongs to one
+		// channel and is only written by that channel's owner.
+		m.serialOnly = true
+	}
 	for c, ch := range m.channels {
 		if tr != nil && len(chanTracks) > c {
 			ch.tr = tr
@@ -454,6 +535,22 @@ func (m *Memory) Pending() int {
 // system is guaranteed idle until at least NextEvent, which the simulation
 // loop exploits to fast-forward.
 func (m *Memory) Tick(done []*Txn) ([]*Txn, bool) {
+	if m.cfg.TickWorkers > 1 {
+		m.poolOnce.Do(func() {
+			w := m.cfg.TickWorkers
+			if w > len(m.channels) {
+				w = len(m.channels)
+			}
+			if w > 1 && !m.serialOnly {
+				m.pool = newTickPool(m.channels, w)
+			}
+		})
+		if m.pool != nil {
+			done, active := m.pool.tick(m.now, m.channels, done)
+			m.now++
+			return done, active
+		}
+	}
 	active := false
 	for _, ch := range m.channels {
 		var a bool
@@ -462,6 +559,17 @@ func (m *Memory) Tick(done []*Txn) ([]*Txn, bool) {
 	}
 	m.now++
 	return done, active
+}
+
+// Close stops the channel-parallel worker pool, if one was started. It is
+// required after a run with TickWorkers > 1 and harmless otherwise; the
+// Memory must not be ticked after Close.
+func (m *Memory) Close() {
+	if m.pool != nil {
+		m.pool.stop()
+		m.pool = nil
+	}
+	m.serialOnly = true // a post-Close Tick falls back to serial instead of respawning
 }
 
 // NextEvent returns a lower bound on the next DRAM cycle at which any
@@ -566,6 +674,11 @@ func (ch *channel) tick(now uint64, done []*Txn) ([]*Txn, bool) {
 			rk := &ch.ranks[r]
 			if !rk.refPending && now >= rk.nextRef {
 				rk.refPending = true
+				// ACT candidates are withheld from here on; a cached
+				// representative could be one of them, so drop the reps
+				// (the release caches stay — they are only conservatively
+				// early now, which costs at most a spurious walk).
+				ch.invalReps(r)
 			}
 		}
 		if ch.issueRefresh(now) {
@@ -621,6 +734,9 @@ func (ch *channel) issueRefresh(now uint64) bool {
 					}
 					ch.precharge(rk, bk, now)
 					ch.markBankDirty(r, b)
+					// The drained bank's hit/PRE candidates became ACT
+					// candidates; a cached representative may be stale.
+					ch.invalReps(r)
 					return true
 				}
 			}
@@ -714,14 +830,17 @@ func (ch *channel) issueFCFS(q []*Txn, now uint64, until *uint64) bool {
 // become issuable with unchanged scheduler state. Returns true if a command
 // was issued.
 func (ch *channel) issueFromBanks(isWrite bool, now uint64, until *uint64) bool {
-	lists, busy, q, rs, rbits := ch.bankRead, ch.busyRead, ch.readQ, ch.rsRead, ch.rankBusyRead
+	q, rbits := ch.readQ, ch.rankBusyRead
+	relHit, relOther, relNext := ch.relHitR, ch.relOtherR, ch.relNextR
+	colRep, anyRep, anyCmdOf, repUntil := ch.colRepR, ch.anyRepR, ch.anyCmdR, ch.repUntilR
 	if isWrite {
-		lists, busy, q, rs, rbits = ch.bankWrite, ch.busyWrite, ch.writeQ, ch.rsWrite, ch.rankBusyWrite
+		q, rbits = ch.writeQ, ch.rankBusyWrite
+		relHit, relOther, relNext = ch.relHitW, ch.relOtherW, ch.relNextW
+		colRep, anyRep, anyCmdOf, repUntil = ch.colRepW, ch.anyRepW, ch.anyCmdW, ch.repUntilW
 	}
 	if len(q) == 0 {
 		return false
 	}
-	u := *until // register-local; written back before returning
 	tm := &ch.cfg.Timing
 	lead, colCmd := tm.TCAS, cmdRead
 	if isWrite {
@@ -744,173 +863,364 @@ func (ch *channel) issueFromBanks(isWrite bool, now uint64, until *uint64) bool 
 	if busOther > lead {
 		colGateOther = busOther - lead
 	}
-	banksPer := ch.cfg.Geom.BanksPerRank
-	var colLR, col, any *Txn
-	var anyCmd cmd
+	sc := scanCtx{isWrite: isWrite, now: now, u: *until}
+	// Rank batching makes the last-used rank the likeliest source of the
+	// winning candidate, and a ready same-rank row hit (colLR) beats every
+	// other class outright — so scan that rank first and short-circuit the
+	// rest when one is found. The early exit is decision-identical to the
+	// full scan: colLR can only come from lastRank, the skipped ranks' state
+	// (timers and cached releases) is untouched and therefore not stale, and
+	// an issuing scan's *until is discarded by the caller (nextTry resets to
+	// zero), so the partial fold is never observed.
+	// Ranks whose only matured class is ACT/PRE are deferred: a ready row
+	// hit anywhere beats the any-class outright, so their walk is needed
+	// only when no col candidate turns up. Deferred walks are skipped
+	// entirely on a col issue (the caller then resets the scan memo, so the
+	// partial until-fold and the stale-matured cache entries are never
+	// observed; the entries force their own rebuild on the next scan).
+	var defer64 uint64
+	deferLR := -1
+	if lr := ch.lastRank; lr >= 0 && rbits&(1<<uint(lr)) != 0 {
+		hGate := relHit[lr]
+		if colGateSame > hGate {
+			hGate = colGateSame
+		}
+		ro := relOther[lr]
+		if now >= hGate {
+			// A nil representative with a matured class means an arrival
+			// filled the class after the last walk (arrivals leave the rep
+			// cache in place — a newcomer has the largest seq, so it can
+			// fill an empty slot but never displace a ready winner); walk
+			// to pick it up.
+			if now < repUntil[lr] && colRep[lr] != nil {
+				ch.issue(colRep[lr], colCmd, now)
+				return true
+			}
+			ch.scanRank(&sc, lr, colGateSame, true)
+			if sc.colLR != nil {
+				ch.issue(sc.colLR, colCmd, now)
+				return true
+			}
+		} else if now >= ro {
+			if a := anyRep[lr]; now < repUntil[lr] && a != nil {
+				if sc.any == nil || a.seq < sc.any.seq {
+					sc.any, sc.anyCmd = a, anyCmdOf[lr]
+				}
+			} else {
+				deferLR = lr
+			}
+		} else {
+			if hGate < sc.u {
+				sc.u = hGate
+			}
+			if ro < sc.u {
+				sc.u = ro
+			}
+		}
+		rbits &^= 1 << uint(lr)
+	}
+	// The cached releases say whether anything in a rank can have matured;
+	// while nothing has, fold them into the running bound and skip the
+	// rank's banks entirely. Matured ranks with a valid representative
+	// cache resolve in O(1); only stale ones walk their banks.
+	gateClear := now >= colGateOther
 	for rb := rbits; rb != 0; {
 		r := bits.TrailingZeros64(rb)
 		rb &^= 1 << uint(r)
-		colGate := colGateOther
-		if r == ch.lastRank {
-			colGate = colGateSame
-		}
-		if rc := &rs[r]; rc.valid {
-			// Fast path: the cached class releases say whether anything in
-			// this rank can have matured; if not, fold them and move on.
-			hGate := rc.hRel
-			if hGate != math.MaxUint64 && colGate > hGate {
-				hGate = colGate
-			}
-			if now < hGate && now < rc.pRel && now < rc.aRel {
-				if hGate < u {
-					u = hGate
-				}
-				if rc.pRel < u {
-					u = rc.pRel
-				}
-				if rc.aRel < u {
-					u = rc.aRel
+		if gateClear {
+			// With the bus gate clear, maturity of either class reduces to
+			// one compare against the combined bound, which is also exactly
+			// the value a non-matured rank folds into the running bound
+			// (hGate = relHit > now, so min(hGate, ro) = relNext).
+			if n := relNext[r]; now < n {
+				if n < sc.u {
+					sc.u = n
 				}
 				continue
 			}
-		}
-		rk := &ch.ranks[r]
-		colBase := rk.refUntil
-		if !isWrite && rk.wtrUntil > colBase {
-			colBase = rk.wtrUntil
-		}
-		colNoBus := colBase
-		if colGate > colBase {
-			colBase = colGate
-		}
-		actBase := rk.refUntil
-		if rk.nextRankAct > actBase {
-			actBase = rk.nextRankAct
-		}
-		if oldest := rk.actWindow[rk.actIdx]; oldest != 0 && oldest-1+tm.TFAW > actBase {
-			actBase = oldest - 1 + tm.TFAW
-		}
-		// Visit the rank's occupied banks, rebuilding the cached releases
-		// (the per-class minima over bank timers) along the way.
-		minCol, minPre, minAct := uint64(math.MaxUint64), uint64(math.MaxUint64), uint64(math.MaxUint64)
-		lo, hi := r*banksPer, (r+1)*banksPer
-		for w := lo >> 6; w <= (hi-1)>>6; w++ {
-			word := busy[w]
-			base := w << 6
-			if base < lo {
-				word &= ^uint64(0) << uint(lo-base)
+		} else if ro := relOther[r]; now < ro {
+			// Bus-gated: no column command can issue anywhere, so only the
+			// ACT/PRE class can mature; fold min(max(relHit, gate), ro).
+			f := relHit[r]
+			if colGateOther > f {
+				f = colGateOther
 			}
-			if base+64 > hi {
-				word &= ^uint64(0) >> uint(base+64-hi)
+			if ro < f {
+				f = ro
 			}
-			for word != 0 {
-				bit := bits.TrailingZeros64(word)
-				word &^= 1 << uint(bit)
-				idx := base + bit
-				bl := &lists[idx]
-				bk := &ch.banks[idx]
-				if bl.dirty {
-					bl.recompute(bk)
+			if f < sc.u {
+				sc.u = f
+			}
+			continue
+		}
+		hGate := relHit[r]
+		if colGateOther > hGate {
+			hGate = colGateOther
+		}
+		ro := relOther[r]
+		om := now >= ro
+		if now >= hGate {
+			// Cache usable only if every matured class has a winner on
+			// record; a nil slot means an arrival filled the class after
+			// the last walk, so walk to pick it up.
+			if now < repUntil[r] && colRep[r] != nil && (!om || anyRep[r] != nil) {
+				c := colRep[r]
+				if sc.col == nil || c.seq < sc.col.seq {
+					sc.col = c
 				}
-				if bk.open {
-					if h := bl.hitRep; h != nil {
-						if bk.nextCol < minCol {
-							minCol = bk.nextCol
-						}
-						rel := colBase
-						if bk.nextCol > rel {
-							rel = bk.nextCol
-						}
-						if now >= rel {
-							if r == ch.lastRank {
-								if colLR == nil || h.seq < colLR.seq {
-									colLR = h
-								}
-							} else if col == nil || h.seq < col.seq {
-								col = h
-							}
-						} else if rel < u {
-							u = rel
-						}
-					}
-					if p := bl.missRep; p != nil {
-						if bk.nextPre < minPre {
-							minPre = bk.nextPre
-						}
-						rel := rk.refUntil
-						if bk.nextPre > rel {
-							rel = bk.nextPre
-						}
-						if now >= rel {
-							if any == nil || p.seq < any.seq {
-								any, anyCmd = p, cmdPre
-							}
-						} else if rel < u {
-							u = rel
-						}
-					}
-				} else if a := bl.missRep; a != nil {
-					if bk.nextAct < minAct {
-						minAct = bk.nextAct
-					}
-					if rk.refPending {
-						// ACT is withheld entirely while a refresh is due
-						// (MaxUint64 release: the REF issue resets the scan
-						// memo, so nothing to fold into until).
-						continue
-					}
-					rel := actBase
-					if bk.nextAct > rel {
-						rel = bk.nextAct
-					}
-					if now >= rel {
-						if any == nil || a.seq < any.seq {
-							any, anyCmd = a, cmdAct
-						}
-					} else if rel < u {
-						u = rel
+				if om {
+					a := anyRep[r]
+					if sc.any == nil || a.seq < sc.any.seq {
+						sc.any, sc.anyCmd = a, anyCmdOf[r]
 					}
 				}
+				continue
 			}
+			ch.scanRank(&sc, r, colGateOther, false)
+			continue
 		}
-		rc := &rs[r]
-		rc.valid = true
-		rc.hRel = math.MaxUint64
-		if minCol != math.MaxUint64 {
-			rc.hRel = colNoBus
-			if minCol > colNoBus {
-				rc.hRel = minCol
+		// om holds here: the fast skips above caught every rank with
+		// nothing matured.
+		if a := anyRep[r]; now < repUntil[r] && a != nil {
+			if sc.any == nil || a.seq < sc.any.seq {
+				sc.any, sc.anyCmd = a, anyCmdOf[r]
 			}
+			continue
 		}
-		rc.pRel = math.MaxUint64
-		if minPre != math.MaxUint64 {
-			rc.pRel = rk.refUntil
-			if minPre > rc.pRel {
-				rc.pRel = minPre
-			}
+		defer64 |= 1 << uint(r)
+	}
+	if sc.col == nil {
+		// No ready row hit: the any-class decides, so walk the deferred
+		// ranks now. A deferred rank cannot supply a col candidate (its
+		// conservatively early hit bound is still in the future), so the
+		// candidate set matches the eager walk exactly.
+		if deferLR >= 0 {
+			ch.scanRank(&sc, deferLR, colGateSame, true)
 		}
-		rc.aRel = math.MaxUint64
-		if minAct != math.MaxUint64 && !rk.refPending {
-			rc.aRel = actBase
-			if minAct > rc.aRel {
-				rc.aRel = minAct
-			}
+		for rb := defer64; rb != 0; {
+			r := bits.TrailingZeros64(rb)
+			rb &^= 1 << uint(r)
+			ch.scanRank(&sc, r, colGateOther, false)
 		}
 	}
-	*until = u
-	if colLR != nil {
-		ch.issue(colLR, colCmd, now)
+	*until = sc.u
+	if sc.colLR != nil {
+		ch.issue(sc.colLR, colCmd, now)
 		return true
 	}
-	if col != nil {
-		ch.issue(col, colCmd, now)
+	if sc.col != nil {
+		ch.issue(sc.col, colCmd, now)
 		return true
 	}
-	if any != nil {
-		ch.issue(any, anyCmd, now)
+	if sc.any != nil {
+		ch.issue(sc.any, sc.anyCmd, now)
 		return true
 	}
 	return false
+}
+
+// scanCtx carries one issueFromBanks scan's direction-resolved inputs and
+// running outputs across per-rank scanRank calls: the candidate slots
+// (colLR/col/any with anyCmd), and u, the running fold of the earliest
+// release time seen among non-issuable candidates.
+type scanCtx struct {
+	isWrite bool
+	now     uint64
+	u       uint64
+
+	colLR, col, any *Txn
+	anyCmd          cmd
+}
+
+// scanRank walks one rank's occupied banks for the FR-FCFS candidate
+// classes, folding results into sc and rebuilding the rank's cached class
+// releases. colGate is the bus-derived column-issue gate already resolved
+// for this rank (same-rank vs cross-rank); isLast routes ready row hits
+// into the colLR slot. The caller has already consulted the cached releases
+// and only calls here when a class may have matured (or the cache was
+// invalidated).
+func (ch *channel) scanRank(sc *scanCtx, r int, colGate uint64, isLast bool) {
+	now := sc.now
+	lists, busy := ch.bankRead, ch.busyRead
+	relHit, relOther, relNext := ch.relHitR, ch.relOtherR, ch.relNextR
+	colRep, anyRep, anyCmdOf, repUntil := ch.colRepR, ch.anyRepR, ch.anyCmdR, ch.repUntilR
+	if sc.isWrite {
+		lists, busy = ch.bankWrite, ch.busyWrite
+		relHit, relOther, relNext = ch.relHitW, ch.relOtherW, ch.relNextW
+		colRep, anyRep, anyCmdOf, repUntil = ch.colRepW, ch.anyRepW, ch.anyCmdW, ch.repUntilW
+	}
+	tm := &ch.cfg.Timing
+	rk := &ch.ranks[r]
+	colNoBus := rk.refUntil
+	if !sc.isWrite && rk.wtrUntil > colNoBus {
+		colNoBus = rk.wtrUntil
+	}
+	actBase := rk.refUntil
+	if rk.nextRankAct > actBase {
+		actBase = rk.nextRankAct
+	}
+	if oldest := rk.actWindow[rk.actIdx]; oldest != 0 && oldest-1+tm.TFAW > actBase {
+		actBase = oldest - 1 + tm.TFAW
+	}
+	// Visit the rank's occupied banks, rebuilding the cached releases, the
+	// class representatives (chosen over bus-independent readiness — the
+	// bus gate is rank-uniform and applied at use time), and join, the
+	// earliest future cycle at which a not-yet-ready member could enter a
+	// ready set and displace a representative.
+	minCol, minPre, minAct := uint64(math.MaxUint64), uint64(math.MaxUint64), uint64(math.MaxUint64)
+	var cRep, aRep *Txn
+	aCmd := cmdNone
+	join := uint64(math.MaxUint64)
+	banksPer := ch.cfg.Geom.BanksPerRank
+	lo, hi := r*banksPer, (r+1)*banksPer
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := busy[w]
+		base := w << 6
+		if base < lo {
+			word &= ^uint64(0) << uint(lo-base)
+		}
+		if base+64 > hi {
+			word &= ^uint64(0) >> uint(base+64-hi)
+		}
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			idx := base + bit
+			bl := &lists[idx]
+			bk := &ch.banks[idx]
+			if bl.dirty {
+				bl.recompute(bk)
+			}
+			if bk.open {
+				if h := bl.hitRep; h != nil {
+					if bk.nextCol < minCol {
+						minCol = bk.nextCol
+					}
+					rel := colNoBus
+					if bk.nextCol > rel {
+						rel = bk.nextCol
+					}
+					if now >= rel {
+						if cRep == nil || h.seq < cRep.seq {
+							cRep = h
+						}
+					} else {
+						if rel < join {
+							join = rel
+						}
+						if colGate > rel {
+							rel = colGate
+						}
+						if rel < sc.u {
+							sc.u = rel
+						}
+					}
+				}
+				if p := bl.missRep; p != nil {
+					if bk.nextPre < minPre {
+						minPre = bk.nextPre
+					}
+					rel := rk.refUntil
+					if bk.nextPre > rel {
+						rel = bk.nextPre
+					}
+					if now >= rel {
+						if aRep == nil || p.seq < aRep.seq {
+							aRep, aCmd = p, cmdPre
+						}
+					} else {
+						if rel < join {
+							join = rel
+						}
+						if rel < sc.u {
+							sc.u = rel
+						}
+					}
+				}
+			} else if a := bl.missRep; a != nil {
+				if bk.nextAct < minAct {
+					minAct = bk.nextAct
+				}
+				if rk.refPending {
+					// ACT is withheld entirely while a refresh is due
+					// (MaxUint64 release: the REF issue resets the scan
+					// memo, so nothing to fold into until; the refPending
+					// flip and the REF both invalidate the rep cache, so
+					// nothing to fold into join either).
+					continue
+				}
+				rel := actBase
+				if bk.nextAct > rel {
+					rel = bk.nextAct
+				}
+				if now >= rel {
+					if aRep == nil || a.seq < aRep.seq {
+						aRep, aCmd = a, cmdAct
+					}
+				} else {
+					if rel < join {
+						join = rel
+					}
+					if rel < sc.u {
+						sc.u = rel
+					}
+				}
+			}
+		}
+	}
+	hRel := uint64(math.MaxUint64)
+	if minCol != math.MaxUint64 {
+		hRel = colNoBus
+		if minCol > colNoBus {
+			hRel = minCol
+		}
+	}
+	other := uint64(math.MaxUint64)
+	if minPre != math.MaxUint64 {
+		other = rk.refUntil
+		if minPre > other {
+			other = minPre
+		}
+	}
+	if minAct != math.MaxUint64 && !rk.refPending {
+		aRel := actBase
+		if minAct > aRel {
+			aRel = minAct
+		}
+		if aRel < other {
+			other = aRel
+		}
+	}
+	relHit[r] = hRel
+	relOther[r] = other
+	if hRel < other {
+		relNext[r] = hRel
+	} else {
+		relNext[r] = other
+	}
+	colRep[r], anyRep[r], anyCmdOf[r], repUntil[r] = cRep, aRep, aCmd, join
+	// Fold the rank representatives into the scan's global candidate slots.
+	// Per-bank gate-included readiness is (now >= colGate) && (now >= rel),
+	// so applying the rank-uniform bus gate to the rank winner here picks
+	// the same transaction the per-bank test would.
+	if cRep != nil {
+		if now >= colGate {
+			if isLast {
+				if sc.colLR == nil || cRep.seq < sc.colLR.seq {
+					sc.colLR = cRep
+				}
+			} else if sc.col == nil || cRep.seq < sc.col.seq {
+				sc.col = cRep
+			}
+		} else if colGate < sc.u {
+			sc.u = colGate
+		}
+	}
+	if aRep != nil {
+		if sc.any == nil || aRep.seq < sc.any.seq {
+			sc.any, sc.anyCmd = aRep, aCmd
+		}
+	}
 }
 
 // cmdReady returns the next command needed by t if it is issuable at now.
@@ -1003,10 +1313,21 @@ func (ch *channel) busNeed(rnk int, isWrite bool) uint64 {
 }
 
 func (ch *channel) issue(t *Txn, c cmd, now uint64) {
-	ch.invalRank(t.Loc.Rank)
+	// ACT and PRE restructure the rank's candidate classes (a bank flips
+	// between hit/miss and ACT service), so markBankDirty below drops the
+	// cached class releases. A column command does not: it only raises
+	// timers (nextCol, nextPre, wtrUntil, the bus) and removes a candidate,
+	// every one of which leaves the cached releases conservatively early —
+	// a stale entry can cause one spurious walk, which rebuilds it, but can
+	// never hide a matured candidate. Keeping the entries valid spares both
+	// directions' caches on the scheduler's most common command.
 	tm := &ch.cfg.Timing
 	rk := &ch.ranks[t.Loc.Rank]
 	bk := &rk.banks[t.Loc.Bank]
+	// Representatives have no safe stale direction, so any command on the
+	// rank drops them (a column issue removes the representative itself and
+	// raises wtrUntil for the other direction; ACT/PRE reshape the classes).
+	ch.invalReps(t.Loc.Rank)
 	switch c {
 	case cmdAct:
 		if ch.check != nil {
@@ -1025,6 +1346,14 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 		rk.actIdx = (rk.actIdx + 1) % len(rk.actWindow)
 		t.neededAct = true
 		ch.markBankDirty(t.Loc.Rank, t.Loc.Bank)
+		// The ACT creates candidates in both directions: row hits in the
+		// freshly opened bank from nextCol = now+tRCD, and PREs for its
+		// other-row transactions from nextPre = now+tRAS. Fold those bank
+		// timers in as conservatively early class bounds instead of
+		// invalidating — removed or postponed candidates only leave the
+		// cache early (safe), so the rank is skipped until the new
+		// candidates can actually have matured.
+		ch.foldRank(t.Loc.Rank, now+tm.TRCD, now+tm.TRAS)
 		ch.Stats.Activates.Inc()
 	case cmdPre:
 		if ch.check != nil {
@@ -1035,6 +1364,10 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 		}
 		ch.precharge(rk, bk, now)
 		ch.markBankDirty(t.Loc.Rank, t.Loc.Bank)
+		// The PRE turns the bank's transactions into ACT candidates from
+		// nextAct ≥ now+tRP; hit/PRE candidates it removes only leave the
+		// cached bounds conservatively early.
+		ch.foldRank(t.Loc.Rank, math.MaxUint64, now+tm.TRP)
 	case cmdRead, cmdWrite:
 		if ch.check != nil {
 			ch.check.OnColumn(now, t.Loc.Rank, t.Loc.Bank, t.Loc.Row, c == cmdWrite)
@@ -1084,18 +1417,64 @@ func (ch *channel) issue(t *Txn, c cmd, now uint64) {
 }
 
 // markBankDirty invalidates both directions' representatives for a bank
-// whose open-row state just changed.
+// whose open-row state just changed. The rank-level release caches are NOT
+// touched here: callers either fold the new candidates' conservatively
+// early bounds in (foldRank, for ACT/PRE) or invalidate outright
+// (invalRank, for REF, whose completion can re-expose candidates earlier
+// than any cached bound).
 func (ch *channel) markBankDirty(r, b int) {
 	i := r*ch.cfg.Geom.BanksPerRank + b
 	ch.bankRead[i].dirty = true
 	ch.bankWrite[i].dirty = true
-	ch.invalRank(r)
 }
 
-// invalRank drops both directions' cached release times for a rank.
+// foldRank lowers both directions' cached class releases for a rank to the
+// given conservatively early bounds (hit, other); MaxUint64 leaves a class
+// untouched. Folding a too-early bound costs at most a spurious walk that
+// rebuilds the exact entry; an invalid entry (zero) stays invalid.
+func (ch *channel) foldRank(r int, hit, other uint64) {
+	lo := hit
+	if other < lo {
+		lo = other
+	}
+	if hit < ch.relHitR[r] {
+		ch.relHitR[r] = hit
+	}
+	if hit < ch.relHitW[r] {
+		ch.relHitW[r] = hit
+	}
+	if other < ch.relOtherR[r] {
+		ch.relOtherR[r] = other
+	}
+	if other < ch.relOtherW[r] {
+		ch.relOtherW[r] = other
+	}
+	if lo < ch.relNextR[r] {
+		ch.relNextR[r] = lo
+	}
+	if lo < ch.relNextW[r] {
+		ch.relNextW[r] = lo
+	}
+}
+
+// invalRank drops both directions' cached release times for a rank: a zero
+// relOther always reads as matured, forcing the walk that rebuilds both
+// values. The representatives go with them.
 func (ch *channel) invalRank(r int) {
-	ch.rsRead[r].valid = false
-	ch.rsWrite[r].valid = false
+	ch.relOtherR[r] = 0
+	ch.relOtherW[r] = 0
+	ch.relNextR[r] = 0
+	ch.relNextW[r] = 0
+	ch.invalReps(r)
+}
+
+// invalReps drops both directions' cached class representatives for a rank
+// (zero repUntil always reads as expired). Unlike the release times, a
+// stale representative could issue a timing-violating or departed command,
+// so every event that mutates rank-local scheduler state must call this.
+func (ch *channel) invalReps(r int) {
+	ch.repUntilR[r] = 0
+	ch.repUntilW[r] = 0
 }
 
 func (ch *channel) precharge(rk *rank, bk *bank, now uint64) {
@@ -1113,9 +1492,20 @@ func (ch *channel) removeFromQueue(t *Txn) {
 		q = &ch.writeQ
 		bl = &ch.bankWrite[ch.bankIdx(t)]
 	}
+	// Under FR-FCFS the flat queues are only consulted for occupancy (the
+	// scan runs over the bank buckets and breaks ties by Txn.seq), so a
+	// swap-remove avoids the O(queue) shift; FCFS serves the queue head in
+	// order and needs the ordered removal.
 	for i, x := range *q {
 		if x == t {
-			*q = append((*q)[:i], (*q)[i+1:]...)
+			if ch.cfg.Sched == FCFS {
+				*q = append((*q)[:i], (*q)[i+1:]...)
+			} else {
+				last := len(*q) - 1
+				(*q)[i] = (*q)[last]
+				(*q)[last] = nil
+				*q = (*q)[:last]
+			}
 			break
 		}
 	}
@@ -1167,11 +1557,39 @@ func (ch *channel) bankInsert(t *Txn) {
 	}
 	bl.txns = append(bl.txns, t)
 	busy[i>>6] |= 1 << (uint(i) & 63)
-	ch.invalRank(t.Loc.Rank)
+	// Fold the newcomer's class release into the rank's cached releases
+	// instead of invalidating them: the arrival adds exactly one candidate,
+	// and lowering the matching class bound to the bank timer alone (a
+	// conservatively early stand-in for the full rank-level gate) keeps the
+	// cache sound — at worst one spurious walk rebuilds the exact entry.
+	relHit, relOther, relNext := ch.relHitR, ch.relOtherR, ch.relNextR
+	if t.Op.Type == mem.Write {
+		relHit, relOther, relNext = ch.relHitW, ch.relOtherW, ch.relNextW
+	}
+	bk := &ch.ranks[t.Loc.Rank].banks[t.Loc.Bank]
+	fold := uint64(0)
+	if bk.open && t.Loc.Row == bk.row {
+		fold = bk.nextCol
+		if bk.nextCol < relHit[t.Loc.Rank] {
+			relHit[t.Loc.Rank] = bk.nextCol
+		}
+	} else if bk.open {
+		fold = bk.nextPre
+		if bk.nextPre < relOther[t.Loc.Rank] {
+			relOther[t.Loc.Rank] = bk.nextPre
+		}
+	} else {
+		fold = bk.nextAct
+		if bk.nextAct < relOther[t.Loc.Rank] {
+			relOther[t.Loc.Rank] = bk.nextAct
+		}
+	}
+	if fold < relNext[t.Loc.Rank] {
+		relNext[t.Loc.Rank] = fold
+	}
 	if bl.dirty {
 		return
 	}
-	bk := &ch.ranks[t.Loc.Rank].banks[t.Loc.Bank]
 	if bk.open && t.Loc.Row == bk.row {
 		if bl.hitRep == nil {
 			bl.hitRep = t

@@ -1,0 +1,105 @@
+// Channel-parallel ticking. DRAM channels are fully independent state
+// machines — no field of one channel is ever read or written by another —
+// and the memory system couples them only at the cycle boundary, where
+// Tick visits each channel once and merges completions in channel order.
+// That structure admits a simple deterministic parallelization: a
+// persistent pool of workers, each owning a static stride-partitioned
+// subset of the channels, released once per cycle and joined at a barrier
+// before any cross-channel state (the merged done list, the activity flag,
+// the global cycle counter) is touched.
+//
+// Determinism argument: a channel's tick depends only on that channel's
+// state and the cycle number, both fixed before the workers are released.
+// Workers write disjoint per-channel result buffers, and the merge after
+// the barrier reads them in channel order — exactly the order the serial
+// loop appends in — so the done list, the activity flag, and every
+// per-channel statistic are bit-identical to serial execution regardless
+// of worker interleaving. The golden cycle-equivalence captures and the
+// registry-driven TickWorkers 1-vs-N test in internal/sim pin this.
+package dram
+
+import "sync"
+
+// tickPool is the persistent worker pool behind Config.TickWorkers. It is
+// created lazily on the first Tick (so observability attachments, which
+// happen between New and the first Tick, can veto it) and stopped by
+// Memory.Close.
+type tickPool struct {
+	workers int
+	start   []chan uint64 // per-worker cycle release; closed to stop
+	wg      sync.WaitGroup
+	done    [][]*Txn // per-channel completion buffers, reused each cycle
+	active  []bool   // per-channel activity results
+	panics  []any    // per-worker recovered panic, re-raised after the barrier
+}
+
+// newTickPool spawns workers goroutines, worker w owning channels
+// w, w+workers, w+2·workers, … The static stride partition keeps each
+// channel on one worker for the life of the run (cache locality) and needs
+// no work-stealing: channels cost roughly the same per cycle.
+func newTickPool(channels []*channel, workers int) *tickPool {
+	p := &tickPool{
+		workers: workers,
+		start:   make([]chan uint64, workers),
+		done:    make([][]*Txn, len(channels)),
+		active:  make([]bool, len(channels)),
+		panics:  make([]any, workers),
+	}
+	for w := 0; w < workers; w++ {
+		p.start[w] = make(chan uint64, 1)
+		go func(w int) {
+			for now := range p.start[w] {
+				p.tickSlice(channels, w, now)
+			}
+		}(w)
+	}
+	return p
+}
+
+// tickSlice runs one cycle over worker w's channels. A panic inside a
+// channel tick is parked in panics[w] and re-raised by Memory.Tick after
+// the barrier, so a corrupt run fails the same way it would serially
+// instead of deadlocking the barrier.
+func (p *tickPool) tickSlice(channels []*channel, w int, now uint64) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[w] = r
+		}
+		p.wg.Done()
+	}()
+	for c := w; c < len(channels); c += p.workers {
+		p.done[c] = p.done[c][:0]
+		p.done[c], p.active[c] = channels[c].tick(now, p.done[c])
+	}
+}
+
+// tick runs one barrier cycle: release every worker at now, wait for all
+// of them, then merge the per-channel results in channel order.
+func (p *tickPool) tick(now uint64, channels []*channel, done []*Txn) ([]*Txn, bool) {
+	p.wg.Add(p.workers)
+	for _, s := range p.start {
+		s <- now
+	}
+	p.wg.Wait()
+	for w, r := range p.panics {
+		if r != nil {
+			p.panics[w] = nil
+			panic(r)
+		}
+	}
+	active := false
+	for c := range channels {
+		done = append(done, p.done[c]...)
+		if p.active[c] {
+			active = true
+		}
+	}
+	return done, active
+}
+
+// stop terminates the workers. The pool must not be ticked afterwards.
+func (p *tickPool) stop() {
+	for _, s := range p.start {
+		close(s)
+	}
+}

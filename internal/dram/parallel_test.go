@@ -1,0 +1,103 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/addrmap"
+	"repro/internal/mem"
+)
+
+// driveWorkload pushes a deterministic multi-channel read/write mix
+// through m and returns the completion log as (arrival, done) pairs in
+// delivery order plus the per-channel command counts — enough signal that
+// any scheduling divergence between serial and parallel ticking shows up.
+func driveWorkload(t *testing.T, m *Memory, channels int) (log []uint64, cmds []uint64) {
+	t.Helper()
+	g := m.Config().Geom
+	const total = 600
+	issued, completed := 0, 0
+	var done []*Txn
+	for completed < total {
+		for issued < total {
+			c := issued % channels
+			typ := mem.Read
+			if issued%3 == 2 {
+				typ = mem.Write
+			}
+			if !m.CanEnqueue(c, typ) {
+				break
+			}
+			m.Enqueue(&Txn{Op: mem.Op{Type: typ}, Loc: addrmap.Location{
+				Channel: c,
+				Rank:    issued % g.RanksPerChan,
+				Bank:    (issued * 7) % g.BanksPerRank,
+				Row:     (issued / 11) % 64,
+				Column:  issued % g.ColumnsPerRow,
+			}})
+			issued++
+		}
+		done, _ = m.Tick(done[:0])
+		for _, d := range done {
+			log = append(log, d.Arrival, d.Done)
+		}
+		completed += len(done)
+		if m.Now() > 5_000_000 {
+			t.Fatalf("workload wedged: %d/%d completed", completed, total)
+		}
+	}
+	for c := 0; c < channels; c++ {
+		s := m.ChannelStats(c)
+		cmds = append(cmds, s.Reads.Value(), s.Writes.Value(), s.Activates.Value(), s.Precharges.Value())
+	}
+	return log, cmds
+}
+
+// TestParallelTickBitIdentical drives the same traffic through a serial
+// and a TickWorkers=4 memory and requires identical completion logs and
+// command counts — the pool must be invisible in results.
+func TestParallelTickBitIdentical(t *testing.T) {
+	const channels = 4
+	scfg := DefaultConfig(channels)
+	scfg.TickWorkers = 1 // explicit: stays serial even under ITESP_TICK_WORKERS
+	serial := New(scfg)
+	slog, scmds := driveWorkload(t, serial, channels)
+
+	cfg := DefaultConfig(channels)
+	cfg.TickWorkers = 4
+	par := New(cfg)
+	defer par.Close()
+	plog, pcmds := driveWorkload(t, par, channels)
+
+	if len(slog) != len(plog) {
+		t.Fatalf("completion log length %d != %d", len(plog), len(slog))
+	}
+	for i := range slog {
+		if slog[i] != plog[i] {
+			t.Fatalf("completion log diverges at %d: serial %d, parallel %d", i, slog[i], plog[i])
+		}
+	}
+	for i := range scmds {
+		if scmds[i] != pcmds[i] {
+			t.Fatalf("command counts diverge at %d: serial %d, parallel %d", i, scmds[i], pcmds[i])
+		}
+	}
+}
+
+// TestParallelTickCloseIsSafe checks Close semantics: idempotent, safe on
+// serial memories, and a post-Close Tick falls back to serial instead of
+// respawning workers.
+func TestParallelTickCloseIsSafe(t *testing.T) {
+	serial := New(DefaultConfig(1))
+	serial.Close() // never had a pool
+	serial.Close()
+
+	cfg := DefaultConfig(2)
+	cfg.TickWorkers = 2
+	m := New(cfg)
+	m.Tick(nil) // spawns the pool
+	m.Close()
+	m.Close()
+	if _, active := m.Tick(nil); active {
+		t.Error("post-Close tick of an idle memory reported activity")
+	}
+}

@@ -38,6 +38,15 @@ type Options struct {
 	Seed int64
 	// Parallel is the number of concurrent simulations (default: CPUs).
 	Parallel int
+	// TickWorkers requests channel-parallel DRAM ticking inside every run
+	// (sim.Config.TickWorkers). Results are bit-identical at any value;
+	// the runner clamps Parallel so Parallel × TickWorkers stays within
+	// the machine. Zero keeps serial ticking.
+	TickWorkers int
+	// BatchTraces groups jobs sharing a (benchmark, seed, cores, ops)
+	// trace and generates that trace once per group, handing each job an
+	// immutable shared snapshot (runner.Options.BatchTraces).
+	BatchTraces bool
 	// W receives the printed table (default os.Stdout).
 	W io.Writer
 	// CacheDir, when non-empty, enables the content-addressed result
@@ -227,12 +236,13 @@ type job struct {
 // simulation and therefore produce no new artifacts.
 func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	ropts := runner.Options{
-		Parallel:   o.Parallel,
-		KeepGoing:  o.KeepGoing,
-		JobTimeout: o.JobTimeout,
-		Retries:    o.Retries,
-		Stats:      o.RunnerStats,
-		Telemetry:  o.Telemetry,
+		Parallel:    o.Parallel,
+		BatchTraces: o.BatchTraces,
+		KeepGoing:   o.KeepGoing,
+		JobTimeout:  o.JobTimeout,
+		Retries:     o.Retries,
+		Stats:       o.RunnerStats,
+		Telemetry:   o.Telemetry,
 	}
 	if o.CacheDir != "" {
 		ropts.Cache = runner.NewCache(o.CacheDir)
@@ -250,6 +260,9 @@ func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	}
 	rjobs := make([]runner.Job, len(jobs))
 	for i, j := range jobs {
+		if o.TickWorkers > 0 && j.spec.TickWorkers == 0 {
+			j.spec.TickWorkers = o.TickWorkers
+		}
 		rjobs[i] = runner.Job{Key: j.key, Spec: j.spec}
 	}
 	ctx := o.Ctx

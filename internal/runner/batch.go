@@ -1,0 +1,130 @@
+// Cross-run trace batching. Every job in a sweep normally regenerates its
+// workload trace from scratch inside sim.RunContext, even though an
+// N-scheme sweep runs the same (benchmark, seed, cores, ops) trace N
+// times. When Options.BatchTraces is set, Run groups jobs by that key,
+// materializes each group's per-core record streams exactly once — on
+// demand, inside whichever worker first misses the cache, so a fully
+// cached sweep generates nothing — and hands every job in the group a
+// fresh cursor over the same immutable record slices.
+//
+// Snapshot semantics (copy-on-attach): the shared state is the record
+// slices, which are never written after materialization; each job gets its
+// own trace.SliceSource cursors, so concurrent jobs never share mutable
+// state. The records a job consumes are byte-identical to what its own
+// generator would have produced, so results, summaries, and cache entries
+// are unchanged — batching is invisible to the spec hash.
+//
+// Jobs with FilterLLC set are excluded: their cores consume post-LLC
+// records, so the number of pre-LLC generator records a run pulls is not
+// known up front and a bounded snapshot could starve the filter.
+package runner
+
+import (
+	"sync"
+
+	"repro/internal/runspec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// traceKey identifies jobs whose cores consume byte-identical generator
+// streams. Fields mirror the spec knobs that feed workload.NewGenerator
+// and the per-core op budget.
+type traceKey struct {
+	bench string
+	seed  int64
+	cores int
+	ops   uint64 // records consumed per core: OpsPerCore + WarmupOps
+}
+
+// batchKey returns the job's trace-sharing key, or ok=false when the job
+// cannot share (LLC-filtered runs consume an unbounded prefix).
+func batchKey(sp runspec.Spec) (traceKey, bool) {
+	if sp.FilterLLC {
+		return traceKey{}, false
+	}
+	n := sp.Normalized() // folds the OpsPerCore default so 0 and 100k share
+	return traceKey{bench: n.Benchmark, seed: n.Seed, cores: n.Cores, ops: n.OpsPerCore + n.WarmupOps}, true
+}
+
+// traceGroup is one shared snapshot, materialized at most once.
+type traceGroup struct {
+	once sync.Once
+	recs [][]trace.Record // per-core immutable records; nil until materialized
+}
+
+// traceBatch maps keys shared by at least two jobs to their groups. The
+// map is built before workers start and never mutated afterwards; only the
+// per-group sync.Once coordinates materialization.
+type traceBatch struct {
+	groups map[traceKey]*traceGroup
+}
+
+// newTraceBatch scans the job set and creates a group for every key shared
+// by two or more jobs — a singleton gains nothing from batching and would
+// only pin its records in memory for the rest of the sweep.
+func newTraceBatch(jobs []Job) *traceBatch {
+	counts := make(map[traceKey]int, len(jobs))
+	for _, j := range jobs {
+		if k, ok := batchKey(j.Spec); ok {
+			counts[k]++
+		}
+	}
+	b := &traceBatch{groups: make(map[traceKey]*traceGroup)}
+	for k, n := range counts {
+		if n >= 2 {
+			b.groups[k] = &traceGroup{}
+		}
+	}
+	if len(b.groups) == 0 {
+		return nil
+	}
+	return b
+}
+
+// sourcesFor returns fresh per-core cursors over the job's shared snapshot,
+// materializing it on first use, or nil when the job is not batched. The
+// records replicate sim.RunContext's generator construction exactly: one
+// generator per core, seeded Seed + core·7919 + 1, consuming
+// OpsPerCore+WarmupOps records.
+func (b *traceBatch) sourcesFor(sp runspec.Spec) []trace.Source {
+	if b == nil {
+		return nil
+	}
+	k, ok := batchKey(sp)
+	if !ok {
+		return nil
+	}
+	g := b.groups[k]
+	if g == nil {
+		return nil
+	}
+	g.once.Do(func() {
+		bench, err := workload.ByName(k.bench)
+		if err != nil {
+			return // unresolvable spec: leave nil, the job falls back to its own generator
+		}
+		recs := make([][]trace.Record, k.cores)
+		for i := range recs {
+			gen := workload.NewGenerator(bench, k.seed+int64(i)*7919+1)
+			rs := make([]trace.Record, 0, k.ops)
+			for n := uint64(0); n < k.ops; n++ {
+				r, ok := gen.Next()
+				if !ok {
+					break
+				}
+				rs = append(rs, r)
+			}
+			recs[i] = rs
+		}
+		g.recs = recs
+	})
+	if g.recs == nil {
+		return nil
+	}
+	srcs := make([]trace.Source, len(g.recs))
+	for i, rs := range g.recs {
+		srcs[i] = trace.NewSliceSource(rs)
+	}
+	return srcs
+}

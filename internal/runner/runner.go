@@ -58,8 +58,19 @@ var ErrJobTimeout = errors.New("runner: job timeout exceeded")
 
 // Options configure a batch run.
 type Options struct {
-	// Parallel bounds concurrent simulations (default: NumCPU-1, min 1).
+	// Parallel bounds concurrent simulations (default: GOMAXPROCS-1,
+	// min 1). When jobs request channel-parallel ticking (TickWorkers in
+	// their specs), Run additionally clamps the worker count so that
+	// Parallel × max(TickWorkers) never exceeds GOMAXPROCS: sweep-level
+	// and run-level parallelism compose instead of oversubscribing the
+	// machine.
 	Parallel int
+	// BatchTraces groups jobs sharing a (benchmark, seed, cores, ops)
+	// trace key, generates each group's trace once, and hands every job
+	// in the group a fresh cursor over the same immutable records (see
+	// batch.go). Results and cache entries are unchanged; only redundant
+	// generator work is removed. LLC-filtered jobs are never batched.
+	BatchTraces bool
 	// Cache, when non-nil, serves hits and stores results by spec hash.
 	// A cache also enables the sweep manifest: an append-only JSONL file
 	// <cache-dir>/sweep-<hash>.manifest recording each job's terminal
@@ -103,17 +114,39 @@ type Options struct {
 	// (append-only JSONL, replayable with sweep.Replay). A nil collector
 	// costs one nil check per transition and changes nothing else.
 	Telemetry *sweep.Collector
+
+	// batch holds the sweep's shared trace snapshots (built by Run when
+	// BatchTraces grouped anything). It rides in the Options value
+	// threaded to runJob, so per-job code needs no extra plumbing.
+	batch *traceBatch
 }
 
 func (o Options) parallel() int {
 	if o.Parallel > 0 {
 		return o.Parallel
 	}
-	p := runtime.NumCPU() - 1
+	p := runtime.GOMAXPROCS(0) - 1
 	if p < 1 {
 		p = 1
 	}
 	return p
+}
+
+// clampWorkers bounds the sweep's worker count so that worker goroutines ×
+// per-run tick workers fit the machine. maxTick is the largest TickWorkers
+// requested by any job (≥ 1).
+func clampWorkers(workers, maxTick int) int {
+	if maxTick <= 1 {
+		return workers
+	}
+	lim := runtime.GOMAXPROCS(0) / maxTick
+	if lim < 1 {
+		lim = 1
+	}
+	if workers > lim {
+		return lim
+	}
+	return workers
 }
 
 // runSim is the simulation entry point, returning both the live result
@@ -233,10 +266,20 @@ func Run(ctx context.Context, opts Options, jobs []Job) (map[string]*sim.Summary
 			opts.OnJobDone(done, len(jobs), jobs[i], out.cached, out.err)
 		}
 	}
+	if opts.BatchTraces {
+		opts.batch = newTraceBatch(jobs)
+	}
 	workers := opts.parallel()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	maxTick := 1
+	for _, j := range jobs {
+		if j.Spec.TickWorkers > maxTick {
+			maxTick = j.Spec.TickWorkers
+		}
+	}
+	workers = clampWorkers(workers, maxTick)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -346,6 +389,15 @@ func runJob(ctx context.Context, opts Options, j Job) (out outcome) {
 		return out
 	}
 	for {
+		// Attach the shared trace snapshot only after the cache miss: a
+		// fully cached sweep never materializes any group. Fresh cursors
+		// every attempt — a retry must not resume half-consumed ones. The
+		// snapshot feeds the simulation the exact records its own
+		// generators would produce, so the summary stored under the spec
+		// hash is unchanged.
+		if srcs := opts.batch.sourcesFor(j.Spec); srcs != nil {
+			cfg.Sources = srcs
+		}
 		out.attempts++
 		tel.JobAttempt(j.Key, out.attempts)
 		sum, err := runOnce(ctx, opts, j, cfg)

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// parallelBase is a reduced two-channel run: channel-parallel ticking only
+// engages with more than one channel, so these tests deliberately deviate
+// from the golden configs' single channel.
+func parallelBase(t *testing.T) Config {
+	t.Helper()
+	spec, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Benchmark:  spec,
+		Cores:      2,
+		Channels:   2,
+		OpsPerCore: 1500,
+		Seed:       11,
+		// Explicit 1, not 0: the serial halves of these tests must stay
+		// serial even when CI forces ITESP_TICK_WORKERS onto unset configs.
+		TickWorkers: 1,
+	}
+}
+
+// TestTickWorkersEquivalenceAllSchemes asserts that channel-parallel
+// ticking is bit-identical to serial execution for every scheme in the
+// backend registry — registry-driven, so schemes added after the golden
+// captures (servas, tmebox, future backends) are covered automatically.
+func TestTickWorkersEquivalenceAllSchemes(t *testing.T) {
+	base := parallelBase(t)
+	for _, name := range core.SchemeNames() {
+		cfg := base
+		cfg.SchemeName = name
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		cfg.TickWorkers = 4
+		par, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if got, want := par.Summarize(), serial.Summarize(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: TickWorkers=4 diverged from serial\n got: %+v\nwant: %+v", name, got, want)
+		}
+	}
+}
+
+// TestTickWorkersFaultEquivalence runs a fault-injection campaign — which
+// exercises the quiesce/drain path where cores finish while corrections
+// are still in flight — with the parallel barrier, and checks the summary
+// (including the fault digest) against serial execution. Under `go test
+// -race` this doubles as the barrier's race-detector coverage.
+func TestTickWorkersFaultEquivalence(t *testing.T) {
+	base := parallelBase(t)
+	base.SchemeName = "itesp"
+	base.Faults = fault.Config{
+		N: 8, Kind: "chip", Seed: 17,
+		StartCycle: 2000, Interval: 2000,
+		SpanBlocks: 256, ScrubInterval: 20,
+	}
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	par := base
+	par.TickWorkers = 4
+	pres, err := Run(par)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if got, want := pres.Summarize(), serial.Summarize(); !reflect.DeepEqual(got, want) {
+		t.Errorf("faulted TickWorkers=4 diverged from serial\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestTickWorkersSingleChannelFallsBack checks the degenerate cases: one
+// channel or one worker must not spawn a pool, and results stay identical.
+func TestTickWorkersSingleChannelFallsBack(t *testing.T) {
+	base := parallelBase(t)
+	base.SchemeName = "vault"
+	base.Channels = 1
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.TickWorkers = 4
+	par, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.Summarize(), serial.Summarize()) {
+		t.Error("TickWorkers on a single channel changed results")
+	}
+}

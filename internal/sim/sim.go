@@ -67,6 +67,12 @@ type Config struct {
 	LLCMBPerCore int
 	// StrictVerify disables speculative verification.
 	StrictVerify bool
+	// TickWorkers, when > 1, ticks independent DRAM channels on a
+	// persistent worker pool with a cycle barrier. Purely an execution
+	// knob: results are bit-identical to serial ticking (the registry
+	// equivalence test pins this), so it never participates in run
+	// hashing. Useful only when Channels > 1.
+	TickWorkers int
 	// DisableIdleSkip forces the straight-line tick-by-tick loop, never
 	// fast-forwarding through idle periods. Results are bit-identical with
 	// and without skipping (the golden equivalence test asserts this); the
@@ -346,7 +352,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Timing: timing,
 		Geom:   geom,
 		ReadQ:  48, WriteQ: 48, HighWM: 40, LowWM: 20,
+		TickWorkers: cfg.TickWorkers,
 	})
+	// Stop the channel-parallel tick workers (if any) when the run ends;
+	// the Memory's stats stay readable through the returned Result.
+	defer dmem.Close()
 	dataPages := uint64(float64(geom.CapacityBytes())*cfg.DataFrac) / mem.PageSize
 	var encl *enclave.System
 	if cfg.DenseAlloc {
@@ -473,12 +483,30 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			progressed = true
 		}
 		coresActive := false
-		for i := 0; i < cpuPerDRAM; i++ {
+		// A core blocked on memory cannot unblock within the burst
+		// (completions are delivered only before it, and only OnComplete
+		// clears the flag), so when every core is blocked the whole burst
+		// reduces to charging cpuPerDRAM stall cycles per core — the
+		// arithmetic identity of running the loop below.
+		allBlocked := true
+		for _, c := range cores {
+			if !c.Blocked() {
+				allBlocked = false
+				break
+			}
+		}
+		if allBlocked {
+			cpuCycle += uint64(cpuPerDRAM)
+			for _, c := range cores {
+				c.AddIdleCycles(uint64(cpuPerDRAM))
+			}
+		}
+		for i := 0; !allBlocked && i < cpuPerDRAM; i++ {
 			cpuCycle++
 			for _, c := range cores {
-				// A core blocked on memory cannot unblock within the burst
-				// (completions are delivered only before it), so its Cycle
-				// reduces to charging the stall cycle.
+				// Blocked cores inside a mixed burst still charge their
+				// stalls cycle by cycle (another core's issue cannot unblock
+				// them, but the loop order is part of the pinned behavior).
 				if c.Blocked() {
 					c.StallTick()
 					continue

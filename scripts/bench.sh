@@ -37,6 +37,44 @@ go test -run '^$' -bench . -benchmem $benchtime \
 
 cpu="$(sed -n 's/^cpu: //p' "$raw" | head -1)"
 
+# --- scaling curve: Fig 8 sweep wall-clock vs TickWorkers ------------------
+# The reduced Fig 8 sweep (8 schemes x pr,cc,mcf,lbm = 32 runs, 4 cores,
+# 1 channel) is timed end to end at TickWorkers 1, 2, 4 with trace batching
+# on, recording wall-clock seconds and runs/sec per point. On a single-CPU
+# or single-channel setup the curve is flat by design — the value is the
+# recorded trajectory across machines, not this machine's absolute numbers.
+scale_ops=4000
+scale_runs=32
+case "$mode" in
+smoke) scale_ops=500 ;;
+esac
+expbin="$(mktemp)"
+go build -o "$expbin" ./cmd/experiments
+scaling="$(mktemp)"
+sep=""
+{
+	printf '  "scaling": {\n'
+	printf '    "sweep": "fig8 8 schemes x pr,cc,mcf,lbm, 4 cores, 1 channel, -batch",\n'
+	printf '    "ops_per_core": %s,\n' "$scale_ops"
+	printf '    "runs": %s,\n' "$scale_runs"
+	printf '    "points": [\n'
+	for w in 1 2 4; do
+		t0=$(date +%s%N)
+		"$expbin" -fig 8 -ops "$scale_ops" -bench pr,cc,mcf,lbm -seed 42 \
+			-tick-workers "$w" -batch >/dev/null 2>&1
+		t1=$(date +%s%N)
+		secs=$(awk "BEGIN{printf \"%.3f\", ($t1 - $t0) / 1e9}")
+		rps=$(awk "BEGIN{printf \"%.3f\", $scale_runs / (($t1 - $t0) / 1e9)}")
+		printf '%s      {"tick_workers": %s, "fig8_wall_s": %s, "runs_per_sec": %s}' \
+			"$sep" "$w" "$secs" "$rps"
+		sep=',
+'
+	done
+	printf '\n    ]\n  }\n'
+} >"$scaling"
+rm -f "$expbin"
+trap 'rm -f "$raw" "$scaling"' EXIT
+
 {
 	printf '{\n'
 	printf '  "generated_by": "scripts/bench.sh",\n'
@@ -79,7 +117,9 @@ EOF
 		}
 		END { print "" }
 	' "$raw"
-	printf '    }\n  }\n}\n'
+	printf '    }\n  },\n'
+	cat "$scaling"
+	printf '}\n'
 } >"$out"
 
 echo "wrote $out"
