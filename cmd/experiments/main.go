@@ -39,6 +39,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (default: CPUs-1; clamped so parallel × tick-workers fits the machine)")
 	tickWorkers := flag.Int("tick-workers", 0, "tick independent DRAM channels inside each run on this many parallel workers (0/1 = serial; bit-identical results; effective only for multi-channel runs)")
 	batch := flag.Bool("batch", false, "share trace generation across jobs with the same (benchmark, seed, cores, ops) key instead of regenerating per run")
+	farmAddr := flag.String("farm", "", "run every sweep on the simfarmd coordinator at this address instead of in-process (results bit-identical; the farm corpus serves cache hits)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	metricsDir := flag.String("metrics", "", "write a per-run metrics snapshot JSON under this directory")
 	timeseriesDir := flag.String("timeseries", "", "write a per-run epoch time-series CSV under this directory")
@@ -111,6 +112,7 @@ func main() {
 		Parallel:    *parallel,
 		TickWorkers: *tickWorkers,
 		BatchTraces: *batch,
+		FarmAddr:    *farmAddr,
 		CacheDir:    *cacheDir,
 		KeepGoing:   *keepGoing,
 		Ctx:         ctx,
@@ -126,7 +128,17 @@ func main() {
 			TraceCap:      *traceCap,
 		},
 	}
-	if *progress {
+	if *progress && *farmAddr != "" {
+		// Farm runs have no local collector feed; report from the callback's
+		// own counts.
+		o.Obs.OnRunDone = func(done, total int, key string, cached bool) {
+			tag := ""
+			if cached {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", done, total, key, tag)
+		}
+	} else if *progress {
 		o.Obs.OnRunDone = func(done, total int, key string, cached bool) {
 			tag := ""
 			if cached {

@@ -1,0 +1,73 @@
+// Command simfarm-worker is a stateless sweep-farm worker: it long-polls a
+// simfarmd coordinator for job leases, executes each leased spec through
+// the ordinary runner (with an optional local .runcache), keeps the lease
+// alive with heartbeats while simulating, and pushes the summary — or a
+// classified failure — back. Any number of workers may point at one
+// coordinator; a worker that dies mid-job loses nothing but its lease.
+//
+// Usage:
+//
+//	simfarm-worker -farm localhost:8344 [-cache-dir worker.cache] [-exit-idle 30s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/farm"
+)
+
+func main() {
+	farmAddr := flag.String("farm", "", "coordinator address (host:port or http URL); required")
+	name := flag.String("name", "", "worker name shown on the coordinator's status surfaces (default host-pid)")
+	cacheDir := flag.String("cache-dir", "", "local content-addressed result cache; already-local hashes complete without re-simulating (empty = none)")
+	poll := flag.Duration("poll", 10*time.Second, "long-poll window per lease request")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock deadline, pushed back as a timeout-class failure (0 = none)")
+	exitIdle := flag.Duration("exit-idle", 0, "exit cleanly after this long without being granted a job (0 = run until interrupted)")
+	tickWorkers := flag.Int("tick-workers", 0, "channel-parallel DRAM ticking for leased runs whose specs leave it unset (bit-identical results)")
+	flag.Parse()
+
+	if *farmAddr == "" {
+		fmt.Fprintln(os.Stderr, "simfarm-worker: -farm is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := farm.NewClient(*farmAddr)
+	if err := client.WaitReady(ctx, 30*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "simfarm-worker:", err)
+		os.Exit(1)
+	}
+	n, err := farm.Work(ctx, farm.WorkerOptions{
+		Client:      client,
+		Name:        *name,
+		CacheDir:    *cacheDir,
+		JobTimeout:  *jobTimeout,
+		PollWait:    *poll,
+		IdleExit:    *exitIdle,
+		TickWorkers: *tickWorkers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%s] %s\n", *name, fmt.Sprintf(format, args...))
+		},
+	})
+	fmt.Fprintf(os.Stderr, "[%s] executed %d jobs\n", *name, n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfarm-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command simfarm is the farm's batch client: it submits a spec batch
+// (the runspec batch JSON format) to a simfarmd coordinator, optionally
+// waits for completion, and fetches results — the curl-free way to drive
+// a farm from scripts and CI. cmd/experiments -farm is the figure-level
+// front end built on the same client.
+//
+// Usage:
+//
+//	simfarm -farm localhost:8344 -submit examples/farm/specs.json -wait
+//	simfarm -farm localhost:8344 -status <sweep-id>
+//	simfarm -farm localhost:8344 -result <spec-hash>
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/runspec"
+)
+
+func main() {
+	farmAddr := flag.String("farm", "", "coordinator address (host:port or http URL); required")
+	submit := flag.String("submit", "", "submit the spec batch JSON at this path (see runspec.ReadBatch; examples/farm/specs.json)")
+	wait := flag.Bool("wait", false, "with -submit: wait for the sweep to complete and print per-job outcomes")
+	out := flag.String("out", "", "with -submit -wait: write the summaries keyed by job key to this JSON file")
+	status := flag.String("status", "", "print the status of this sweep ID and exit")
+	result := flag.String("result", "", "print the summary stored under this spec content hash and exit")
+	flag.Parse()
+
+	if *farmAddr == "" {
+		fmt.Fprintln(os.Stderr, "simfarm: -farm is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	modes := 0
+	for _, set := range []bool{*submit != "", *status != "", *result != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "simfarm: exactly one of -submit, -status, -result is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	client := farm.NewClient(*farmAddr)
+	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *status != "":
+		st, err := client.Sweep(ctx, *status)
+		if err != nil {
+			fatal(err)
+		}
+		printJSON(st)
+	case *result != "":
+		res, err := client.Result(ctx, *result)
+		if err != nil {
+			fatal(err)
+		}
+		printJSON(res)
+	case *submit != "":
+		f, err := os.Open(*submit)
+		if err != nil {
+			fatal(err)
+		}
+		jobs, err := runspec.ReadBatch(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if !*wait {
+			resp, err := client.Submit(ctx, jobs)
+			if err != nil {
+				fatal(err)
+			}
+			printJSON(resp)
+			return
+		}
+		results, err := client.RunSweep(ctx, jobs, func(done, total int, key string, cached bool) {
+			tag := ""
+			if cached {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s%s\n", done, total, key, tag)
+		})
+		if *out != "" && len(results) > 0 {
+			data, jerr := json.MarshalIndent(results, "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*out, data, 0o644)
+			}
+			if jerr != nil {
+				fatal(jerr)
+			}
+		}
+		for _, j := range jobs {
+			if sum := results[j.Key]; sum != nil {
+				fmt.Printf("%-24s cycles=%d\n", j.Key, sum.Cycles)
+			}
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func printJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simfarm:", err)
+	os.Exit(1)
+}

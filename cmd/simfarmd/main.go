@@ -1,0 +1,80 @@
+// Command simfarmd is the sweep-farm coordinator: it accepts sweep
+// submissions over HTTP/JSON, maintains a durable pull queue of unique run
+// specs, leases jobs to simfarm-worker processes with heartbeat/expiry
+// semantics, and serves every completed summary from a shared
+// content-addressed corpus. See DESIGN.md's "Sweep farm" chapter for the
+// protocol and examples/farm for a walkthrough.
+//
+// Usage:
+//
+//	simfarmd -addr localhost:8344 -cache-dir .runcache
+//	simfarmd -routes   # print the endpoint table (used by docscheck)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/farm"
+	"repro/internal/farm/api"
+	"repro/internal/obs/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8344", "address to serve the farm API on")
+	cacheDir := flag.String("cache-dir", ".runcache", "shared result corpus: content-addressed summaries plus the farm journal")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "how long a job lease survives without a worker heartbeat before it lapses back to the queue")
+	retries := flag.Int("retries", 1, "extra attempts per job after a lapsed lease, worker panic, or worker timeout before the job is marked failed")
+	routes := flag.Bool("routes", false, "print the served endpoint table and exit")
+	flag.Parse()
+
+	if *routes {
+		for _, rt := range api.Routes() {
+			fmt.Printf("%-4s %-22s %s\n", rt.Method, rt.Path, rt.Doc)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	co, err := farm.NewCoordinator(farm.Config{
+		CacheDir:  *cacheDir,
+		LeaseTTL:  *leaseTTL,
+		Retries:   *retries,
+		Collector: sweep.New(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfarmd:", err)
+		os.Exit(1)
+	}
+	co.StartExpiry(ctx, 0)
+
+	srv := &http.Server{Addr: *addr, Handler: farm.Handler(co), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "[simfarmd on http://%s — corpus %s, lease TTL %v, retries %d]\n", *addr, *cacheDir, *leaseTTL, *retries)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "simfarmd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	// Drain: stop accepting requests (in-flight lease polls are cut), then
+	// flush the journal. Workers notice via connection errors and their
+	// leases simply lapse on the next coordinator start.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(sctx)
+	if err := co.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "simfarmd: journal:", err)
+		os.Exit(1)
+	}
+}

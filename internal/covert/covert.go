@@ -1,17 +1,3 @@
-// Package covert reproduces the Section III-B covert-channel demonstration
-// (Figure 5): two colluding enclaves communicate through the *shared*
-// integrity tree and metadata cache. The victim transmits "1" by touching
-// many pages (warming tree nodes whose coverage spans both enclaves'
-// interleaved pages) or "0" by idling; the attacker then touches its own
-// pages and distinguishes the bit by the metadata-fetch latency. With
-// isolated trees and partitioned metadata caches (the paper's defense) the
-// two latency distributions converge and the channel closes.
-//
-// The model charges a fixed on-chip latency per access plus a DRAM-like
-// penalty per metadata node fetched, with absolute per-measurement jitter
-// standing in for timer noise — the same structure as the paper's
-// SGX-hardware experiment, where touching more blocks amortizes the jitter
-// and improves fidelity at the cost of bandwidth.
 package covert
 
 import (

@@ -1,0 +1,24 @@
+// Package covert reproduces the Section III-B covert-channel demonstration
+// (Figure 5): two colluding enclaves communicate through the *shared*
+// integrity tree and metadata cache. The victim transmits "1" by touching
+// many pages (warming tree nodes whose coverage spans both enclaves'
+// interleaved pages) or "0" by idling; the attacker then touches its own
+// pages and distinguishes the bit by the metadata-fetch latency. With
+// isolated trees and partitioned metadata caches (the paper's defense) the
+// two latency distributions converge and the channel closes.
+//
+// The model charges a fixed on-chip latency per access plus a DRAM-like
+// penalty per metadata node fetched, with absolute per-measurement jitter
+// standing in for timer noise — the same structure as the paper's
+// SGX-hardware experiment, where touching more blocks amortizes the jitter
+// and improves fidelity at the cost of bandwidth.
+//
+// Layering: the package builds directly on internal/integrity (tree
+// geometry and node coverage) and internal/cache (the shared metadata
+// cache being probed); it deliberately bypasses the cycle-accurate engine,
+// because the channel is a property of *which* metadata nodes two enclaves
+// share, not of DRAM timing. Channel capacity and error rate come from the
+// attacker's latency-threshold classifier in attack.go; Fig5 in
+// internal/experiments sweeps it over block counts for the interleaved
+// (shared-tree) and isolated (per-enclave-tree) layouts.
+package covert

@@ -1,0 +1,23 @@
+// Package enclave models the OS/hardware state the paper's isolation
+// technique depends on: per-enclave page tables, a shared physical-page
+// allocator whose free list interleaves the pages of co-scheduled enclaves
+// (as in a real EPC), and the hardware-managed *leaf-id* allocator of
+// Section III-A that maps each enclave page to consecutive leaves of the
+// enclave's private integrity tree.
+//
+// The point of the model is the *contrast* it makes measurable. Physical
+// pages are allocated from a shared free list, so co-scheduled enclaves
+// end up physically interleaved — which is exactly the layout that makes a
+// physically-indexed shared integrity tree leak (deep tree walks whose
+// node coverage spans enclave boundaries; see internal/covert). Leaf-ids,
+// by contrast, are allocated per enclave and stay consecutive regardless
+// of physical placement, so a leaf-id-indexed private tree keeps each
+// enclave's metadata footprint compact and disjoint. The TLB model
+// (tlb.go) charges the translation cost of the extra indirection, keeping
+// the comparison honest.
+//
+// Workload generators (internal/workload) drive this package to lay out
+// each simulated core's address space before the engine runs; the
+// dense-allocation knob (sim.Config.DenseAlloc) bypasses the interleaving
+// free list to model an idealized defragmented EPC.
+package enclave

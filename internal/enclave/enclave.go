@@ -1,9 +1,3 @@
-// Package enclave models the OS/hardware state the paper's isolation
-// technique depends on: per-enclave page tables, a shared physical-page
-// allocator whose free list interleaves the pages of co-scheduled enclaves
-// (as in a real EPC), and the hardware-managed *leaf-id* allocator of
-// Section III-A that maps each enclave page to consecutive leaves of the
-// enclave's private integrity tree.
 package enclave
 
 import (

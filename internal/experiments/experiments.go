@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/farm"
 	"repro/internal/obs"
 	"repro/internal/obs/sweep"
 	"repro/internal/runner"
@@ -66,6 +68,14 @@ type Options struct {
 	// panicked or timed-out jobs deterministically up to N extra attempts.
 	JobTimeout time.Duration
 	Retries    int
+	// FarmAddr, when non-empty, dispatches every batch to the simfarmd
+	// coordinator at that address instead of simulating in-process: jobs
+	// are submitted by content hash, executed by whatever workers the farm
+	// has, and summaries collected back — bit-identical to a local run,
+	// with the farm's corpus deduplicating across users and machines.
+	// Per-run observability artifacts (Obs.MetricsDir etc.) cannot be
+	// produced remotely and are rejected in combination with FarmAddr.
+	FarmAddr string
 	// RunnerStats, when non-nil, accumulates the runner's simulated /
 	// cache-hit / failure counters across every batch of the experiment.
 	// The runner updates it live (atomically) as jobs finish, so gauges
@@ -235,6 +245,9 @@ type job struct {
 // and writes its files before the job is counted done; cache hits skip the
 // simulation and therefore produce no new artifacts.
 func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
+	if o.FarmAddr != "" {
+		return runBatchFarm(o, jobs)
+	}
 	ropts := runner.Options{
 		Parallel:    o.Parallel,
 		BatchTraces: o.BatchTraces,
@@ -273,6 +286,35 @@ func runBatch(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	// itself keeps it live-updated as jobs finish; no end-of-batch fold-in.
 	results, _, err := runner.Run(ctx, ropts, rjobs)
 	return results, err
+}
+
+// runBatchFarm dispatches one batch to a sweep farm instead of the
+// in-process runner. Specs travel by content hash, so the farm's corpus
+// serves previously computed runs without dispatch and results are
+// bit-identical to a local run of the same specs.
+func runBatchFarm(o Options, jobs []job) (map[string]*sim.Summary, error) {
+	if o.Obs.artifactsEnabled() {
+		return nil, fmt.Errorf("experiments: -metrics/-timeseries/-trace-events artifacts are produced by the simulating process and cannot be combined with a farm run")
+	}
+	named := make([]runspec.Named, len(jobs))
+	for i, j := range jobs {
+		// TickWorkers stays local: it is the *worker's* execution knob, and
+		// the hash is invariant to it anyway.
+		named[i] = runspec.Named{Key: j.key, Spec: j.spec}
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	client := farm.NewClient(o.FarmAddr)
+	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
+		return nil, err
+	}
+	var onDone func(done, total int, key string, cached bool)
+	if o.Obs.OnRunDone != nil {
+		onDone = o.Obs.OnRunDone
+	}
+	return client.RunSweep(ctx, named, onDone)
 }
 
 // geoMeanOver computes the geometric mean of metric over the given

@@ -1,0 +1,225 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/farm/api"
+	"repro/internal/runspec"
+	"repro/internal/sim"
+)
+
+// Client speaks the api protocol to a coordinator. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the coordinator at addr. addr may be a
+// bare host:port or a full http:// URL.
+func NewClient(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	// No global timeout: lease long-polls legitimately hold a request open
+	// for tens of seconds. Per-call deadlines come from the context.
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// do performs one JSON round trip. A non-2xx response decodes into an
+// *api.Error; transport failures are returned as-is.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("farm: client: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("farm: client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("farm: client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var env api.ErrorEnvelope
+		if jerr := json.NewDecoder(resp.Body).Decode(&env); jerr == nil && env.Err.Code != "" {
+			return &env.Err
+		}
+		return fmt.Errorf("farm: client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("farm: client: %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// WaitReady polls the coordinator's /progress endpoint until it answers or
+// the timeout passes — the startup handshake for workers and batch clients
+// racing a freshly booted simfarmd.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		pctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := c.do(pctx, http.MethodGet, "/progress", nil, &struct{}{})
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("farm: coordinator at %s not ready after %v: %w", c.base, timeout, last)
+}
+
+// Submit submits a sweep (idempotent by content hash).
+func (c *Client) Submit(ctx context.Context, jobs []runspec.Named) (*api.SubmitResponse, error) {
+	var resp api.SubmitResponse
+	if err := c.do(ctx, http.MethodPost, api.PathSubmit, api.SubmitRequest{Jobs: jobs}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Lease long-polls for the next queued job; a nil lease with nil error
+// means nothing was available within the window.
+func (c *Client) Lease(ctx context.Context, worker string, wait time.Duration) (*api.Lease, error) {
+	var resp api.LeaseResponse
+	req := api.LeaseRequest{Worker: worker, WaitMS: wait.Milliseconds()}
+	if err := c.do(ctx, http.MethodPost, api.PathLease, req, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Heartbeat renews a lease.
+func (c *Client) Heartbeat(ctx context.Context, lease string) error {
+	return c.do(ctx, http.MethodPost, api.PathHeartbeat, api.HeartbeatRequest{Lease: lease}, nil)
+}
+
+// Complete pushes a leased job's result or classified failure.
+func (c *Client) Complete(ctx context.Context, req api.CompleteRequest) (*api.CompleteResponse, error) {
+	var resp api.CompleteResponse
+	if err := c.do(ctx, http.MethodPost, api.PathComplete, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Sweep fetches a sweep's status.
+func (c *Client) Sweep(ctx context.Context, id string) (*api.SweepStatus, error) {
+	var resp api.SweepStatus
+	if err := c.do(ctx, http.MethodGet, api.PathSweep+id, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Result fetches one run's summary by spec content hash.
+func (c *Client) Result(ctx context.Context, hash string) (*api.ResultResponse, error) {
+	var resp api.ResultResponse
+	if err := c.do(ctx, http.MethodGet, api.PathResult+hash, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// sweepPollInterval paces RunSweep's status polling. Coarse on purpose:
+// simulations run for seconds to minutes, and the submit→poll→fetch loop
+// is correct at any interval.
+const sweepPollInterval = 300 * time.Millisecond
+
+// RunSweep is the batch front door: submit jobs, wait until every job is
+// terminal, and return summaries keyed by job key — the remote equivalent
+// of runner.Run. onDone, when non-nil, is called as jobs reach terminal
+// states (serialized, with monotonically increasing done counts). Failed
+// jobs are reported like the runner reports them: one error per failed
+// job, joined, with every missing key accounted for.
+func (c *Client) RunSweep(ctx context.Context, jobs []runspec.Named, onDone func(done, total int, key string, cached bool)) (map[string]*sim.Summary, error) {
+	sub, err := c.Submit(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	reported := map[string]bool{}
+	var st *api.SweepStatus
+	for {
+		st, err = c.Sweep(ctx, sub.Sweep)
+		if err != nil {
+			return nil, err
+		}
+		if onDone != nil {
+			// Report newly terminal jobs in deterministic (key) order.
+			var fresh []api.JobStatus
+			for _, j := range st.Jobs {
+				if !reported[j.Key] && terminal(j.State) {
+					fresh = append(fresh, j)
+				}
+			}
+			sort.Slice(fresh, func(i, k int) bool { return fresh[i].Key < fresh[k].Key })
+			for _, j := range fresh {
+				reported[j.Key] = true
+				onDone(len(reported), len(st.Jobs), j.Key, j.State == api.StateCached)
+			}
+		}
+		if st.Complete {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(sweepPollInterval):
+		}
+	}
+
+	results := make(map[string]*sim.Summary, len(st.Jobs))
+	var errs []error
+	for _, j := range st.Jobs {
+		if j.State == api.StateFailed {
+			errs = append(errs, fmt.Errorf("%s: %s", j.Key, j.Error))
+			continue
+		}
+		res, err := c.Result(ctx, j.Hash)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", j.Key, err))
+			continue
+		}
+		results[j.Key] = res.Summary
+	}
+	return results, errors.Join(errs...)
+}
+
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	switch state {
+	case api.StateDone, api.StateCached, api.StateFailed:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// JournalName is the farm journal's file name inside the corpus directory.
+const JournalName = "farm-journal.jsonl"
+
+// JournalRecord is one JSONL line of the farm journal: a job-state
+// transition, appended the moment it happens. Like the runner's sweep
+// manifest, each append is a single whole-line O_APPEND write, so a crash
+// can at worst tear the final line and every line before it survives —
+// the queue is reconstructible from the journal plus the corpus.
+type JournalRecord struct {
+	TMS  int64  `json:"t_ms"`
+	Kind string `json:"kind"` // submit|queued|cached|lease|requeue|expire|done|failed|store_error
+
+	Sweep    string `json:"sweep,omitempty"`
+	Jobs     int    `json:"jobs,omitempty"`
+	Key      string `json:"key,omitempty"`
+	Hash     string `json:"hash,omitempty"`
+	Lease    string `json:"lease,omitempty"`
+	Worker   string `json:"worker,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// journal is the append-only writer. The coordinator serializes appends
+// under its own mutex, but the journal keeps one anyway so it stays safe
+// if that ever changes.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// JournalPath returns the journal file for a corpus directory.
+func JournalPath(dir string) string { return filepath.Join(dir, JournalName) }
+
+// openJournal opens (creating dir and file as needed) the append-only farm
+// journal under dir.
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	f, err := os.OpenFile(JournalPath(dir), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one record as a single whole-line write.
+func (j *journal) append(rec JournalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+// close syncs and closes the journal.
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ReadJournal loads every parsable record from a farm journal. Unparsable
+// lines (at worst the torn final line of a crashed writer) are skipped,
+// not fatal, matching the runner's manifest reader.
+func ReadJournal(path string) ([]JournalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []JournalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var rec JournalRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, fmt.Errorf("farm: journal %s: %w", path, err)
+	}
+	return recs, nil
+}

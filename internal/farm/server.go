@@ -1,0 +1,199 @@
+package farm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/farm/api"
+	"repro/internal/obs"
+	"repro/internal/obs/sweep"
+)
+
+// maxLeaseWait caps a lease request's long-poll window so a forgotten
+// client cannot pin a handler goroutine indefinitely.
+const maxLeaseWait = 30 * time.Second
+
+// Handler builds the coordinator's full HTTP surface from the api.Routes
+// table: the /v1 job-farm protocol plus the re-exported status endpoints
+// (/progress, /metrics, /events, /debug/pprof/), aggregated across every
+// worker via the coordinator's collector. The route table is the single
+// source of truth — a route added there without a handler here panics at
+// startup rather than 404-ing at runtime.
+func Handler(c *Coordinator) http.Handler {
+	reg := obs.NewRegistry()
+	c.cfg.Collector.Register(reg)
+	registerFarmGauges(reg, c)
+	status := sweep.Handler(sweep.ServerConfig{
+		Collector: c.cfg.Collector,
+		Metrics:   func() *obs.Snapshot { return reg.Snapshot() },
+	})
+
+	mux := http.NewServeMux()
+	for _, rt := range api.Routes() {
+		switch rt.Path {
+		case api.PathSubmit:
+			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleSubmit)
+		case api.PathSweep:
+			mux.HandleFunc(rt.Method+" "+rt.Path+"{sweep}", c.handleSweep)
+		case api.PathResult:
+			mux.HandleFunc(rt.Method+" "+rt.Path+"{hash}", c.handleResult)
+		case api.PathLease:
+			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleLease)
+		case api.PathHeartbeat:
+			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleHeartbeat)
+		case api.PathComplete:
+			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleComplete)
+		case "/progress", "/metrics", "/events":
+			mux.Handle(rt.Method+" "+rt.Path, status)
+		case "/debug/pprof/":
+			mux.Handle(rt.Path, status)
+		default:
+			panic(fmt.Sprintf("farm: route %s %s has no handler", rt.Method, rt.Path))
+		}
+	}
+	mux.HandleFunc("/{$}", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "simfarmd — sweep farm coordinator\n\n")
+		for _, rt := range api.Routes() {
+			fmt.Fprintf(w, "%-4s %-22s %s\n", rt.Method, rt.Path, rt.Doc)
+		}
+	})
+	return mux
+}
+
+// registerFarmGauges exposes the coordinator's job census as farm_* gauges
+// beside the collector's sweep_* gauges.
+func registerFarmGauges(reg *obs.Registry, c *Coordinator) {
+	g := func(name string, f func(Stats) int) {
+		reg.Gauge("farm_"+name, nil, func() float64 { return float64(f(c.Snapshot())) })
+	}
+	g("jobs", func(s Stats) int { return s.Jobs })
+	g("queued", func(s Stats) int { return s.Queued })
+	g("leased", func(s Stats) int { return s.Leased })
+	g("done", func(s Stats) int { return s.Done })
+	g("cached", func(s Stats) int { return s.Cached })
+	g("failed", func(s Stats) int { return s.Failed })
+	g("sweeps", func(s Stats) int { return s.Sweeps })
+}
+
+// writeJSON writes v as the 200 response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr maps a coordinator error onto the typed envelope. Non-protocol
+// errors become CodeInternal.
+func writeErr(w http.ResponseWriter, err error) {
+	var ae *api.Error
+	if !errors.As(err, &ae) {
+		ae = &api.Error{Code: api.CodeInternal, Message: err.Error()}
+	}
+	status := http.StatusInternalServerError
+	switch ae.Code {
+	case api.CodeBadRequest:
+		status = http.StatusBadRequest
+	case api.CodeNotFound:
+		status = http.StatusNotFound
+	case api.CodeNotReady:
+		status = http.StatusConflict
+	case api.CodeLeaseGone:
+		status = http.StatusGone
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorEnvelope{Err: *ae})
+}
+
+// readBody decodes a JSON request body into v, rejecting unknown fields so
+// a version-skewed client fails loudly instead of being half-understood.
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, &api.Error{Code: api.CodeBadRequest, Message: fmt.Sprintf("request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SubmitRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	resp, err := c.Submit(req.Jobs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Sweep(r.PathValue("sweep"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, st)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, err := c.Result(r.PathValue("hash"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req api.LeaseRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	lease, err := c.Lease(r.Context(), req.Worker, wait)
+	if err != nil {
+		// The client went away mid-poll; nothing useful to write.
+		return
+	}
+	writeJSON(w, api.LeaseResponse{Job: lease})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req api.HeartbeatRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	ttl, err := c.Heartbeat(req.Lease)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, api.HeartbeatResponse{TTLMS: ttl.Milliseconds()})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req api.CompleteRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	state, err := c.Complete(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, api.CompleteResponse{State: state})
+}

@@ -1,0 +1,168 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/farm/api"
+	"repro/internal/runner"
+)
+
+// WorkerOptions configure one worker process (or in-process worker loop).
+type WorkerOptions struct {
+	// Client speaks to the coordinator. Required.
+	Client *Client
+	// Name identifies the worker on status surfaces and in the farm
+	// journal.
+	Name string
+	// CacheDir, when non-empty, gives the worker a local content-addressed
+	// .runcache: a job whose hash is already local completes without
+	// re-simulating, and every completed job leaves a local entry —
+	// the same resume property an in-process sweep has. The pushed result
+	// also lands in the coordinator's corpus, so the two caches converge.
+	CacheDir string
+	// JobTimeout bounds each simulation attempt (runner.Options.JobTimeout);
+	// an expiry is pushed back as a timeout-class failure for coordinator
+	// retry accounting. Zero disables it.
+	JobTimeout time.Duration
+	// PollWait is the long-poll window per lease request (default 10s,
+	// capped server-side).
+	PollWait time.Duration
+	// IdleExit, when positive, makes the loop return cleanly after that
+	// long without being granted a job — how a drain-and-exit worker (CI
+	// smoke, batch clusters) knows it is done. Zero runs until ctx fires.
+	IdleExit time.Duration
+	// TickWorkers requests channel-parallel DRAM ticking for leased runs
+	// whose specs leave it unset. Results (and hashes) are unchanged — it
+	// is the same execution-only knob the CLIs expose.
+	TickWorkers int
+	// Logf, when non-nil, receives one line per lease/completion.
+	Logf func(format string, args ...any)
+}
+
+// Work runs the pull loop: lease → execute through the runner (with the
+// local cache and lease heartbeats) → push the summary or classified
+// failure. It returns the number of jobs executed, and an error only for
+// persistent coordinator unreachability — a canceled context is a clean
+// return, and per-job failures are the coordinator's to account, not the
+// worker's to die over.
+func Work(ctx context.Context, o WorkerOptions) (int, error) {
+	if o.Client == nil {
+		return 0, fmt.Errorf("farm: worker: Client is required")
+	}
+	if o.Name == "" {
+		o.Name = "worker"
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 10 * time.Second
+	}
+	logf := o.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var cache *runner.Cache
+	if o.CacheDir != "" {
+		cache = runner.NewCache(o.CacheDir)
+	}
+
+	executed := 0
+	idleSince := time.Now()
+	const maxConsecutiveErrs = 10
+	consecutiveErrs := 0
+	for {
+		if ctx.Err() != nil {
+			return executed, nil
+		}
+		lease, err := o.Client.Lease(ctx, o.Name, o.PollWait)
+		if err != nil {
+			if ctx.Err() != nil {
+				return executed, nil
+			}
+			consecutiveErrs++
+			if consecutiveErrs >= maxConsecutiveErrs {
+				return executed, fmt.Errorf("farm: worker: coordinator unreachable: %w", err)
+			}
+			logf("lease error (%d/%d): %v", consecutiveErrs, maxConsecutiveErrs, err)
+			select {
+			case <-ctx.Done():
+				return executed, nil
+			case <-time.After(time.Second):
+			}
+			continue
+		}
+		consecutiveErrs = 0
+		if lease == nil {
+			if o.IdleExit > 0 && time.Since(idleSince) >= o.IdleExit {
+				logf("idle for %v, exiting", o.IdleExit)
+				return executed, nil
+			}
+			continue
+		}
+		idleSince = time.Now()
+		executed++
+		logf("lease %s: %s (attempt %d)", lease.ID, lease.Key, lease.Attempt)
+		o.runLease(ctx, cache, lease, logf)
+	}
+}
+
+// runLease executes one leased job and pushes its outcome.
+func (o WorkerOptions) runLease(ctx context.Context, cache *runner.Cache, lease *api.Lease, logf func(string, ...any)) {
+	spec := lease.Spec
+	if o.TickWorkers > 0 && spec.TickWorkers == 0 {
+		spec.TickWorkers = o.TickWorkers
+	}
+	hbEvery := time.Duration(lease.TTLMS) * time.Millisecond / 3
+	if hbEvery <= 0 {
+		hbEvery = 5 * time.Second
+	}
+	ropts := runner.Options{
+		Parallel:       1,
+		Cache:          cache,
+		JobTimeout:     o.JobTimeout,
+		HeartbeatEvery: hbEvery,
+		OnHeartbeat: func(runner.Job) {
+			hctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+			defer cancel()
+			if err := o.Client.Heartbeat(hctx, lease.ID); err != nil {
+				logf("heartbeat %s: %v", lease.ID, err)
+			}
+		},
+	}
+	results, _, err := runner.Run(ctx, ropts, []runner.Job{{Key: lease.Key, Spec: spec}})
+
+	req := api.CompleteRequest{Lease: lease.ID}
+	switch {
+	case err == nil:
+		req.Outcome = api.OutcomeOK
+		req.Summary = results[lease.Key]
+	default:
+		var pe *runner.PanicError
+		switch {
+		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+			// Shutdown mid-job: don't classify, just let the lease lapse so
+			// the coordinator re-queues with its own accounting.
+			logf("canceled mid-job, abandoning lease %s", lease.ID)
+			return
+		case errors.As(err, &pe):
+			req.Outcome = api.OutcomePanic
+		case errors.Is(err, runner.ErrJobTimeout):
+			req.Outcome = api.OutcomeTimeout
+		default:
+			req.Outcome = api.OutcomeFailed
+		}
+		req.Error = err.Error()
+	}
+
+	// Push on an independent short deadline: a computed result must not be
+	// lost to the same ctx cancellation that is shutting the worker down.
+	pctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 15*time.Second)
+	defer cancel()
+	resp, cerr := o.Client.Complete(pctx, req)
+	if cerr != nil {
+		logf("complete %s: %v", lease.ID, cerr)
+		return
+	}
+	logf("done %s: %s → %s", lease.ID, lease.Key, resp.State)
+}

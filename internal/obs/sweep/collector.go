@@ -1,17 +1,3 @@
-// Package sweep is the sweep-scoped half of the observability layer: where
-// package obs instruments one simulation, sweep instruments the fleet of
-// jobs around it. It provides a job-lifecycle event model (queued → started
-// → attempt N → cache hit/miss → panic/timeout/retry → terminal outcome), a
-// Collector the runner calls at each transition, an append-only JSONL
-// telemetry journal with a tolerant replayer, and an HTTP status server
-// (/progress, /metrics, /events, /debug/pprof) for watching a live sweep.
-//
-// The Collector is deliberately cheap and safe to thread everywhere: every
-// recording method is nil-receiver safe (a disabled sweep pays one nil
-// check per job transition, never per simulated cycle), and all state is
-// guarded by one mutex that is only taken a handful of times per job —
-// job-lifecycle transitions are O(jobs), not O(cycles), so contention is
-// negligible next to a simulation.
 package sweep
 
 import (
@@ -46,6 +32,11 @@ const (
 	EventPanic   = "panic"
 	EventTimeout = "timeout"
 	EventRetry   = "retry"
+	// EventExpired records a farm lease lapsing: the worker holding the job
+	// stopped heartbeating (crashed, hung, or partitioned) and the attempt
+	// is charged without a worker-reported failure. Always followed by a
+	// retry or a done event, exactly like panic/timeout.
+	EventExpired = "expired"
 	// EventDone is the job's terminal record; Outcome holds one of the
 	// Outcome* states and DurMS the started→done wall time.
 	EventDone = "done"
@@ -108,6 +99,9 @@ type Progress struct {
 	Panics    int `json:"panics"`
 	Timeouts  int `json:"timeouts"`
 	Retries   int `json:"retries"`
+	// Expired counts farm leases that lapsed because their worker stopped
+	// heartbeating (zero for in-process sweeps).
+	Expired int `json:"expired,omitempty"`
 	// CacheCorrupt counts quarantined cache entries that forced a
 	// re-simulation.
 	CacheCorrupt int `json:"cache_corrupt,omitempty"`
@@ -154,6 +148,7 @@ type Collector struct {
 	panics    int
 	timeouts  int
 	retries   int
+	expired   int
 	corrupt   int
 
 	jobs map[string]*jobState // queued-or-running, keyed by job key
@@ -329,6 +324,17 @@ func (c *Collector) JobRetry(key string, n int) {
 	c.attemptEvent(EventRetry, key, n, &c.retries)
 }
 
+// JobExpired records a farm lease lapsing on attempt n: the worker holding
+// the job stopped heartbeating. The coordinator forwards this span on the
+// worker's behalf — the one lifecycle transition a remote fleet has that
+// an in-process sweep does not.
+func (c *Collector) JobExpired(key string, n int) {
+	if c == nil {
+		return
+	}
+	c.attemptEvent(EventExpired, key, n, &c.expired)
+}
+
 // JobDone records a job's terminal state. outcome is one of the Outcome*
 // constants, attempts the total attempt count, errText the terminal error
 // ("" on success).
@@ -419,6 +425,7 @@ func (c *Collector) Snapshot() Progress {
 		Panics:       c.panics,
 		Timeouts:     c.timeouts,
 		Retries:      c.retries,
+		Expired:      c.expired,
 		CacheCorrupt: c.corrupt,
 		Events:       c.seq,
 	}
@@ -479,6 +486,7 @@ func (c *Collector) Register(reg *obs.Registry) {
 	g("panics", func(p Progress) float64 { return float64(p.Panics) })
 	g("timeouts", func(p Progress) float64 { return float64(p.Timeouts) })
 	g("retries", func(p Progress) float64 { return float64(p.Retries) })
+	g("expired", func(p Progress) float64 { return float64(p.Expired) })
 	g("cache_hit_ratio", func(p Progress) float64 { return p.CacheHitRatio })
 	g("jobs_per_sec", func(p Progress) float64 { return p.JobsPerSec })
 	g("eta_seconds", func(p Progress) float64 { return p.EtaS })

@@ -1,18 +1,3 @@
-// Package runner schedules batches of declarative run specs over a bounded
-// worker pool, with a content-addressed result cache, fault-tolerant
-// execution, and aggregated error reporting. Sweeps built on it are
-// resumable for free: every completed job leaves a cache entry under its
-// spec hash, so re-invoking an interrupted sweep re-simulates only the
-// missing hashes; a crash-safe JSONL manifest beside the cache records each
-// job's terminal state for post-mortems.
-//
-// Concurrency contract: Run owns the outcome slice and Stats until it
-// returns; workers write disjoint outcome entries and serialize every
-// shared side effect (done counting, OnJobDone, manifest appends) under one
-// mutex. Observer/AfterSim hooks run on worker goroutines, one job at a
-// time per worker, and must not share mutable state across jobs unless
-// they synchronize it themselves. The contract is enforced by
-// `go test -race ./internal/runner/...` in scripts/check.sh.
 package runner
 
 import (
@@ -106,6 +91,16 @@ type Options struct {
 	// Stats.Snapshot report mid-run values. Run adds the same totals it
 	// returns, so one Stats may accumulate across sequential Runs.
 	Stats *Stats
+	// OnHeartbeat, when non-nil together with a positive HeartbeatEvery, is
+	// invoked every HeartbeatEvery on a side goroutine while a job attempt
+	// is simulating — the lease-aware execution hook: a farm worker renews
+	// its coordinator lease here, so a lease only lapses when the process
+	// itself is gone, never because a long simulation looked idle. The hook
+	// runs concurrently with the simulation, must be cheap, and must not
+	// panic; it stops (and is waited for) before the attempt's outcome is
+	// classified.
+	OnHeartbeat    func(j Job)
+	HeartbeatEvery time.Duration
 	// Telemetry, when non-nil, receives a job-lifecycle event at every
 	// transition: queued → started → attempt N → cache hit/miss →
 	// panic/timeout/retry → terminal outcome. When a Cache is also
@@ -445,6 +440,27 @@ func runOnce(ctx context.Context, opts Options, j Job, cfg sim.Config) (sum *sim
 		var cancel context.CancelFunc
 		jctx, cancel = context.WithTimeout(jctx, opts.JobTimeout)
 		defer cancel()
+	}
+	if opts.OnHeartbeat != nil && opts.HeartbeatEvery > 0 {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(opts.HeartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					opts.OnHeartbeat(j)
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-done
+		}()
 	}
 	defer func() {
 		if r := recover(); r != nil {

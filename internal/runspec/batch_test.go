@@ -1,0 +1,67 @@
+package runspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func batchJob(key string, seed int64) Named {
+	return Named{Key: key, Spec: Spec{
+		Scheme: "nonsecure", Benchmark: "lbm", Cores: 1, OpsPerCore: 300, Seed: seed,
+	}}
+}
+
+// TestBatchRoundTrip: WriteBatch output parses back to the same job list.
+func TestBatchRoundTrip(t *testing.T) {
+	jobs := []Named{batchJob("a", 1), batchJob("b", 2)}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Key != "a" || got[1].Spec.Seed != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	h0, _ := jobs[0].Spec.Hash()
+	g0, _ := got[0].Spec.Hash()
+	if h0 != g0 {
+		t.Fatal("round trip must preserve the content hash")
+	}
+}
+
+// TestBatchValidation: the errors name the offending job.
+func TestBatchValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		jobs []Named
+		want string
+	}{
+		{"empty", nil, "no jobs"},
+		{"missing key", []Named{{Spec: batchJob("x", 1).Spec}}, "job 0 has no key"},
+		{"duplicate key", []Named{batchJob("dup", 1), batchJob("dup", 2)}, `duplicate key "dup"`},
+		{"invalid spec", []Named{{Key: "bad", Spec: Spec{Benchmark: "lbm"}}}, "job 0 (bad)"},
+	}
+	for _, tc := range cases {
+		err := ValidateBatch(tc.jobs)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v must contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBatchRejectsUnknownFields: a version-skewed file fails loudly instead
+// of being half-understood.
+func TestBatchRejectsUnknownFields(t *testing.T) {
+	in := `{"jobs":[{"key":"a","spec":{"scheme":"nonsecure","benchmark":"lbm","cores":1}}],"futurefield":1}`
+	if _, err := ReadBatch(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown top-level field must be rejected")
+	}
+	in = `{"jobs":[{"key":"a","spec":{"scheme":"nonsecure","benchmark":"lbm","cores":1,"no_such_knob":true}}]}`
+	if _, err := ReadBatch(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown spec field must be rejected")
+	}
+}

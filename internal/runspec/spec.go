@@ -1,10 +1,3 @@
-// Package runspec defines the declarative, serializable description of one
-// simulation run. A Spec round-trips to and from sim.Config (minus the
-// non-addressable in-process hooks: explicit trace sources and observers),
-// and carries a canonical content hash over every behavior-affecting knob.
-// That hash names the run: the runner's result cache stores summaries under
-// it, sweeps schedule by it, and resuming a sweep means re-running only the
-// hashes with no cache entry.
 package runspec
 
 import (

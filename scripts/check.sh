@@ -2,8 +2,8 @@
 # Pre-commit gate: docs-drift check (every cmd flag documented, no dead
 # markdown links), vet, build, race-checked tests for the packages with a
 # documented concurrency contract (internal/stats single-owner counters,
-# the internal/obs layer that snapshots them, and the internal/runner
-# worker pool), then the full suite.
+# the internal/obs layer that snapshots them, the internal/runner worker
+# pool, and the internal/farm coordinator), then the full suite.
 #
 # The chaos suite (injected panics, hangs, mid-sweep cancellation) runs
 # last with -count=3 to shake out flakes; it is non-gating so a flaky
@@ -15,6 +15,6 @@ cd "$(dirname "$0")/.."
 sh scripts/docscheck.sh
 go vet ./...
 go build ./...
-go test -race ./internal/stats/... ./internal/obs/... ./internal/runner/...
+go test -race ./internal/stats/... ./internal/obs/... ./internal/runner/... ./internal/farm/...
 go test ./...
-go test -count=3 -run 'TestChaos' ./internal/runner/... || echo "chaos suite: FAILED (non-gating)" >&2
+go test -count=3 -run 'TestChaos' ./internal/runner/... ./internal/farm/... || echo "chaos suite: FAILED (non-gating)" >&2

@@ -9,8 +9,11 @@
 #  3. Scheme-registry drift: every scheme in the backend registry
 #     (`itespsim -list-schemes`) must appear in README.md's scheme table,
 #     so registering a backend without documenting it fails CI.
+#  4. Farm endpoint drift: every route served by the coordinator
+#     (`simfarmd -routes`) must appear in DESIGN.md's "Sweep farm"
+#     endpoint table, so new API surface cannot ship undocumented.
 #
-# POSIX sh + grep/sed only (plus the repo's own go toolchain for step 3).
+# POSIX sh + grep/sed only (plus the repo's own go toolchain for 3 and 4).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -58,6 +61,22 @@ for s in $schemes; do
     # contain '+', so match as a fixed string.
     if ! grep -qF "\`$s\`" README.md; then
         echo "docscheck: scheme $s (registered in internal/core) is not documented in README.md" >&2
+        fail=1
+    fi
+done
+
+# --- 4. served farm endpoints are documented in DESIGN.md -----------------
+# DESIGN.md's table writes parameterized paths as /v1/sweeps/{sweep}; the
+# route table prints the mux prefix /v1/sweeps/, which is a substring of
+# the documented form, so a fixed-string grep covers both shapes.
+routes=$(go run ./cmd/simfarmd -routes | awk '{print $2}')
+if [ -z "$routes" ]; then
+    echo "docscheck: 'simfarmd -routes' produced no endpoints" >&2
+    fail=1
+fi
+for r in $routes; do
+    if ! grep -qF "$r" DESIGN.md; then
+        echo "docscheck: endpoint $r (served by simfarmd) is not documented in DESIGN.md" >&2
         fail=1
     fi
 done

@@ -1,0 +1,74 @@
+#!/bin/sh
+# End-to-end smoke test of the sweep farm, run as the CI farm-smoke job:
+# boots a real simfarmd coordinator and one simfarm-worker, drives the
+# examples/farm/specs.json sweep through them, then proves the corpus
+# short-circuit by resubmitting against a *fresh* coordinator process on
+# the same corpus with no worker running — every job must come back
+# cached with byte-identical summaries.
+#
+# Usage: scripts/farmsmoke.sh [addr]   (default 127.0.0.1:18344)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR=${1:-127.0.0.1:18344}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/farmsmoke.XXXXXX")
+
+DPID=""
+WPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    [ -n "$WPID" ] && kill "$WPID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "farmsmoke: building binaries into $WORK"
+go build -o "$WORK/simfarmd" ./cmd/simfarmd
+go build -o "$WORK/simfarm-worker" ./cmd/simfarm-worker
+go build -o "$WORK/simfarm" ./cmd/simfarm
+
+echo "farmsmoke: cold run (coordinator + 1 worker) on $ADDR"
+"$WORK/simfarmd" -addr "$ADDR" -cache-dir "$WORK/corpus" 2>"$WORK/simfarmd.log" &
+DPID=$!
+"$WORK/simfarm-worker" -farm "$ADDR" -name smokebox \
+    -cache-dir "$WORK/worker.cache" -exit-idle 5s 2>"$WORK/worker.log" &
+WPID=$!
+
+"$WORK/simfarm" -farm "$ADDR" -submit examples/farm/specs.json -wait \
+    -out "$WORK/cold.json"
+
+wait "$WPID" || { echo "farmsmoke: worker exited non-zero" >&2; cat "$WORK/worker.log" >&2; exit 1; }
+WPID=""
+kill "$DPID" && wait "$DPID" 2>/dev/null || true
+DPID=""
+
+grep -q 'executed 3 jobs' "$WORK/worker.log" || {
+    echo "farmsmoke: worker did not execute all 3 jobs" >&2
+    cat "$WORK/worker.log" >&2
+    exit 1
+}
+[ -f "$WORK/corpus/farm-journal.jsonl" ] || {
+    echo "farmsmoke: coordinator wrote no farm journal" >&2
+    exit 1
+}
+
+echo "farmsmoke: warm run (fresh coordinator, same corpus, no worker)"
+"$WORK/simfarmd" -addr "$ADDR" -cache-dir "$WORK/corpus" 2>>"$WORK/simfarmd.log" &
+DPID=$!
+
+"$WORK/simfarm" -farm "$ADDR" -submit examples/farm/specs.json -wait \
+    -out "$WORK/warm.json" 2>"$WORK/warm.progress"
+
+grep -c '(cached)$' "$WORK/warm.progress" | grep -qx 3 || {
+    echo "farmsmoke: warm resubmit was not fully served from the corpus" >&2
+    cat "$WORK/warm.progress" >&2
+    exit 1
+}
+cmp "$WORK/cold.json" "$WORK/warm.json" || {
+    echo "farmsmoke: warm summaries differ from cold summaries" >&2
+    exit 1
+}
+
+echo "farmsmoke: OK (3 jobs simulated cold, 3 served cached, summaries identical)"
