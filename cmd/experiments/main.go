@@ -40,6 +40,10 @@ func main() {
 	tickWorkers := flag.Int("tick-workers", 0, "tick independent DRAM channels inside each run on this many parallel workers (0/1 = serial; bit-identical results; effective only for multi-channel runs)")
 	batch := flag.Bool("batch", false, "share trace generation across jobs with the same (benchmark, seed, cores, ops) key instead of regenerating per run")
 	farmAddr := flag.String("farm", "", "run every sweep on the simfarmd coordinator at this address instead of in-process (results bit-identical; the farm corpus serves cache hits)")
+	farmCA := flag.String("farm-ca", "", "with -farm: CA bundle (PEM) pinning the coordinator's TLS certificate; implies https")
+	farmCert := flag.String("farm-cert", "", "with -farm: client TLS certificate (PEM) for mutual TLS; requires -farm-key")
+	farmKey := flag.String("farm-key", "", "with -farm: client TLS private key (PEM)")
+	farmToken := flag.String("farm-token", "", "with -farm: bearer token attached to every request (Authorization: Bearer)")
 	jsonPath := flag.String("json", "", "also write machine-readable results to this file")
 	metricsDir := flag.String("metrics", "", "write a per-run metrics snapshot JSON under this directory")
 	timeseriesDir := flag.String("timeseries", "", "write a per-run epoch time-series CSV under this directory")
@@ -113,6 +117,10 @@ func main() {
 		TickWorkers: *tickWorkers,
 		BatchTraces: *batch,
 		FarmAddr:    *farmAddr,
+		FarmCA:      *farmCA,
+		FarmCert:    *farmCert,
+		FarmKey:     *farmKey,
+		FarmToken:   *farmToken,
 		CacheDir:    *cacheDir,
 		KeepGoing:   *keepGoing,
 		Ctx:         ctx,

@@ -1,0 +1,43 @@
+// gencert mints a development PKI for the sweep farm: a self-signed CA, a
+// server certificate for simfarmd, and a client certificate for workers
+// and batch clients under mutual TLS — six PEM files, no openssl needed.
+//
+//	go run ./cmd/gencert -dir certs -hosts farm.internal,10.0.0.5
+//	simfarmd -tls-cert certs/server.pem -tls-key certs/server-key.pem \
+//	         -tls-client-ca certs/ca.pem
+//
+// Development/testing only: certificates live 30 days and chain to a CA
+// minted on the spot. Production farms should bring their own issuer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/farm/devtls"
+)
+
+func main() {
+	dir := flag.String("dir", "certs", "directory to write the PEM files into (created if missing)")
+	hosts := flag.String("hosts", "", "comma-separated extra hostnames/IPs for the server certificate (localhost, 127.0.0.1, ::1 are always included)")
+	flag.Parse()
+
+	var extra []string
+	for _, h := range strings.Split(*hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			extra = append(extra, h)
+		}
+	}
+	bundle, err := devtls.Generate(extra...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gencert:", err)
+		os.Exit(1)
+	}
+	if err := bundle.WriteDir(*dir); err != nil {
+		fmt.Fprintln(os.Stderr, "gencert:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("gencert: wrote ca.pem ca-key.pem server.pem server-key.pem client.pem client-key.pem to %s\n", *dir)
+}

@@ -4,14 +4,25 @@
 // alive with heartbeats while simulating, and pushes the summary — or a
 // classified failure — back. Any number of workers may point at one
 // coordinator; a worker that dies mid-job loses nothing but its lease.
+// Transient coordinator failures (restarts, network blips) are ridden out
+// with jittered backoff; a credential rejection is fatal and exits with a
+// distinct code.
 //
 // Usage:
 //
 //	simfarm-worker -farm localhost:8344 [-cache-dir worker.cache] [-exit-idle 30s]
+//	simfarm-worker -farm farm.internal:8344 -ca certs/ca.pem \
+//	    -cert certs/client.pem -key certs/client-key.pem -token $FARM_TOKEN
+//
+// Exit codes: 0 clean (including idle exit and interrupt), 4 when the
+// coordinator rejected this worker's credentials (bad token or client
+// certificate — retrying cannot help), 1 for other errors, 2 for flag
+// errors.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +31,22 @@ import (
 	"time"
 
 	"repro/internal/farm"
+	"repro/internal/farm/api"
 )
 
 func main() {
-	farmAddr := flag.String("farm", "", "coordinator address (host:port or http URL); required")
+	farmAddr := flag.String("farm", "", "coordinator address (host:port or http(s) URL); required")
 	name := flag.String("name", "", "worker name shown on the coordinator's status surfaces (default host-pid)")
 	cacheDir := flag.String("cache-dir", "", "local content-addressed result cache; already-local hashes complete without re-simulating (empty = none)")
 	poll := flag.Duration("poll", 10*time.Second, "long-poll window per lease request")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-simulation wall-clock deadline, pushed back as a timeout-class failure (0 = none)")
 	exitIdle := flag.Duration("exit-idle", 0, "exit cleanly after this long without being granted a job (0 = run until interrupted)")
 	tickWorkers := flag.Int("tick-workers", 0, "channel-parallel DRAM ticking for leased runs whose specs leave it unset (bit-identical results)")
+	maxMemMB := flag.Int("max-mem-mb", 0, "advertised simulation memory budget in MiB, shown on the coordinator's /progress (0 = unknown)")
+	caFile := flag.String("ca", "", "CA bundle (PEM) pinning the coordinator's TLS certificate; implies https")
+	certFile := flag.String("cert", "", "client TLS certificate (PEM) for mutual TLS; requires -key")
+	keyFile := flag.String("key", "", "client TLS private key (PEM)")
+	token := flag.String("token", "", "bearer token attached to every request (Authorization: Bearer)")
 	flag.Parse()
 
 	if *farmAddr == "" {
@@ -48,10 +65,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	client := farm.NewClient(*farmAddr)
-	if err := client.WaitReady(ctx, 30*time.Second); err != nil {
+	client, err := farm.NewClientFiles(*farmAddr, *caFile, *certFile, *keyFile, *token)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simfarm-worker:", err)
 		os.Exit(1)
+	}
+	if err := client.WaitReady(ctx, 30*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "simfarm-worker:", err)
+		os.Exit(exitCode(err))
 	}
 	n, err := farm.Work(ctx, farm.WorkerOptions{
 		Client:      client,
@@ -61,6 +82,7 @@ func main() {
 		PollWait:    *poll,
 		IdleExit:    *exitIdle,
 		TickWorkers: *tickWorkers,
+		MaxMemMB:    *maxMemMB,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "[%s] %s\n", *name, fmt.Sprintf(format, args...))
 		},
@@ -68,6 +90,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "[%s] executed %d jobs\n", *name, n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simfarm-worker:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode separates "the farm said no" (4: bad credentials, retrying is
+// pointless — stop the unit, don't restart-loop it) from other failures.
+func exitCode(err error) int {
+	if errors.Is(err, farm.ErrUnauthorized) || api.IsAuth(err) {
+		return 4
+	}
+	return 1
 }

@@ -26,12 +26,16 @@ import (
 )
 
 func main() {
-	farmAddr := flag.String("farm", "", "coordinator address (host:port or http URL); required")
+	farmAddr := flag.String("farm", "", "coordinator address (host:port or http(s) URL); required")
 	submit := flag.String("submit", "", "submit the spec batch JSON at this path (see runspec.ReadBatch; examples/farm/specs.json)")
 	wait := flag.Bool("wait", false, "with -submit: wait for the sweep to complete and print per-job outcomes")
 	out := flag.String("out", "", "with -submit -wait: write the summaries keyed by job key to this JSON file")
 	status := flag.String("status", "", "print the status of this sweep ID and exit")
 	result := flag.String("result", "", "print the summary stored under this spec content hash and exit")
+	caFile := flag.String("ca", "", "CA bundle (PEM) pinning the coordinator's TLS certificate; implies https")
+	certFile := flag.String("cert", "", "client TLS certificate (PEM) for mutual TLS; requires -key")
+	keyFile := flag.String("key", "", "client TLS private key (PEM)")
+	token := flag.String("token", "", "bearer token attached to every request (Authorization: Bearer)")
 	flag.Parse()
 
 	if *farmAddr == "" {
@@ -54,7 +58,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	client := farm.NewClient(*farmAddr)
+	client, err := farm.NewClientFiles(*farmAddr, *caFile, *certFile, *keyFile, *token)
+	if err != nil {
+		fatal(err)
+	}
 	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
 		fatal(err)
 	}

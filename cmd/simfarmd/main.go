@@ -2,13 +2,21 @@
 // submissions over HTTP/JSON, maintains a durable pull queue of unique run
 // specs, leases jobs to simfarm-worker processes with heartbeat/expiry
 // semantics, and serves every completed summary from a shared
-// content-addressed corpus. See DESIGN.md's "Sweep farm" chapter for the
-// protocol and examples/farm for a walkthrough.
+// content-addressed corpus. See DESIGN.md's "Sweep farm" and "Farm
+// security & resilience" chapters for the protocol and examples/farm for a
+// walkthrough.
 //
 // Usage:
 //
 //	simfarmd -addr localhost:8344 -cache-dir .runcache
+//	simfarmd -addr :8344 -tls-cert certs/server.pem -tls-key certs/server-key.pem \
+//	         -tls-client-ca certs/ca.pem -token $FARM_TOKEN
 //	simfarmd -routes   # print the endpoint table (used by docscheck)
+//
+// Exit codes follow the repo convention: 0 for a clean drain (including
+// SIGINT/SIGTERM shutdown), 3 when the shutdown could not flush farm state
+// (journal write failure — the on-disk queue may be stale), 1 for other
+// errors, 2 for flag errors.
 package main
 
 import (
@@ -31,6 +39,11 @@ func main() {
 	cacheDir := flag.String("cache-dir", ".runcache", "shared result corpus: content-addressed summaries plus the farm journal")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "how long a job lease survives without a worker heartbeat before it lapses back to the queue")
 	retries := flag.Int("retries", 1, "extra attempts per job after a lapsed lease, worker panic, or worker timeout before the job is marked failed")
+	tlsCert := flag.String("tls-cert", "", "server TLS certificate (PEM); with -tls-key, serve HTTPS instead of plaintext")
+	tlsKey := flag.String("tls-key", "", "server TLS private key (PEM)")
+	tlsClientCA := flag.String("tls-client-ca", "", "CA bundle (PEM) for mutual TLS: require and verify client certificates signed by it")
+	token := flag.String("token", "", "shared bearer token every request must present (Authorization: Bearer); empty disables token auth")
+	compactBytes := flag.Int64("compact-bytes", 1<<20, "journal size threshold (bytes) that triggers compaction to the live-state snapshot; negative disables")
 	routes := flag.Bool("routes", false, "print the served endpoint table and exit")
 	flag.Parse()
 
@@ -40,15 +53,25 @@ func main() {
 		}
 		return
 	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "simfarmd: -tls-cert and -tls-key must be given together")
+		os.Exit(2)
+	}
+	if *tlsClientCA != "" && *tlsCert == "" {
+		fmt.Fprintln(os.Stderr, "simfarmd: -tls-client-ca requires -tls-cert/-tls-key")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	co, err := farm.NewCoordinator(farm.Config{
-		CacheDir:  *cacheDir,
-		LeaseTTL:  *leaseTTL,
-		Retries:   *retries,
-		Collector: sweep.New(),
+		CacheDir:     *cacheDir,
+		LeaseTTL:     *leaseTTL,
+		Retries:      *retries,
+		Collector:    sweep.New(),
+		Token:        *token,
+		CompactBytes: *compactBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simfarmd:", err)
@@ -57,9 +80,36 @@ func main() {
 	co.StartExpiry(ctx, 0)
 
 	srv := &http.Server{Addr: *addr, Handler: farm.Handler(co), ReadHeaderTimeout: 10 * time.Second}
+	scheme := "http"
+	if *tlsCert != "" {
+		tcfg, err := farm.LoadServerTLS(*tlsCert, *tlsKey, *tlsClientCA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simfarmd:", err)
+			os.Exit(1)
+		}
+		srv.TLSConfig = tcfg
+		scheme = "https"
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "[simfarmd on http://%s — corpus %s, lease TTL %v, retries %d]\n", *addr, *cacheDir, *leaseTTL, *retries)
+	go func() {
+		if srv.TLSConfig != nil {
+			errc <- srv.ListenAndServeTLS("", "")
+		} else {
+			errc <- srv.ListenAndServe()
+		}
+	}()
+	security := "plaintext"
+	switch {
+	case *tlsClientCA != "":
+		security = "mTLS"
+	case *tlsCert != "":
+		security = "TLS"
+	}
+	if *token != "" {
+		security += "+token"
+	}
+	fmt.Fprintf(os.Stderr, "[simfarmd on %s://%s (%s) — corpus %s, lease TTL %v, retries %d]\n",
+		scheme, *addr, security, *cacheDir, *leaseTTL, *retries)
 
 	select {
 	case err := <-errc:
@@ -67,14 +117,17 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 	}
-	// Drain: stop accepting requests (in-flight lease polls are cut), then
-	// flush the journal. Workers notice via connection errors and their
-	// leases simply lapse on the next coordinator start.
+	// Graceful drain: unpark long-poll leases first (workers see an empty
+	// grant and ride out the restart on their retry policy), let in-flight
+	// HTTP finish, then compact and flush the journal. A journal that
+	// cannot flush is a wedged-state failure: the next boot would replay a
+	// stale queue, so it gets the distinct exit code.
+	co.Shutdown()
 	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_ = srv.Shutdown(sctx)
 	if err := co.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "simfarmd: journal:", err)
-		os.Exit(1)
+		os.Exit(3)
 	}
 }

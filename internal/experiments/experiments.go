@@ -76,6 +76,13 @@ type Options struct {
 	// Per-run observability artifacts (Obs.MetricsDir etc.) cannot be
 	// produced remotely and are rejected in combination with FarmAddr.
 	FarmAddr string
+	// FarmCA/FarmCert/FarmKey/FarmToken carry the farm client's transport
+	// credentials (PEM file paths and bearer token — see
+	// farm.NewClientFiles). All empty means a plaintext coordinator.
+	FarmCA    string
+	FarmCert  string
+	FarmKey   string
+	FarmToken string
 	// RunnerStats, when non-nil, accumulates the runner's simulated /
 	// cache-hit / failure counters across every batch of the experiment.
 	// The runner updates it live (atomically) as jobs finish, so gauges
@@ -306,7 +313,10 @@ func runBatchFarm(o Options, jobs []job) (map[string]*sim.Summary, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	client := farm.NewClient(o.FarmAddr)
+	client, err := farm.NewClientFiles(o.FarmAddr, o.FarmCA, o.FarmCert, o.FarmKey, o.FarmToken)
+	if err != nil {
+		return nil, err
+	}
 	if err := client.WaitReady(ctx, 10*time.Second); err != nil {
 		return nil, err
 	}

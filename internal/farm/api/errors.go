@@ -1,0 +1,76 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// HTTPStatusError is a non-2xx response that carried no decodable Error
+// envelope — a proxy 502, a load balancer 503, a truncated body. Keeping
+// the status lets the client classify it (5xx/429/408 are transient)
+// without string matching.
+type HTTPStatusError struct {
+	Status int
+	Body   string
+}
+
+func (e *HTTPStatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("farm: HTTP %d", e.Status)
+	}
+	return fmt.Sprintf("farm: HTTP %d: %s", e.Status, e.Body)
+}
+
+// IsTransient classifies a client-side error as worth retrying with
+// backoff. The taxonomy:
+//
+//   - Typed protocol errors (*Error) are authoritative: only
+//     CodeInternal is transient (the coordinator hit a passing storage or
+//     I/O failure). bad_request, not_found, not_ready, lease_gone, and
+//     unauthorized are all statements about the request or the caller's
+//     standing, which a retry cannot change.
+//   - Envelope-less HTTP statuses (*HTTPStatusError): 5xx, 429, and 408
+//     are infrastructure weather; everything else is fatal.
+//   - context.Canceled is fatal (the caller gave up); a deadline that
+//     fired mid-request is transient from the farm's point of view — the
+//     next attempt gets a fresh deadline.
+//   - Anything else (connection refused, reset, EOF, DNS) is transport
+//     noise: transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Code == CodeInternal
+	}
+	var se *HTTPStatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500 ||
+			se.Status == http.StatusTooManyRequests ||
+			se.Status == http.StatusRequestTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// IsAuth reports whether err means the farm rejected the caller's
+// credentials — a bearer-token mismatch or a TLS client-certificate
+// failure surfaced as 401/403. Auth rejections are fatal and deserve a
+// distinct exit path (a worker looping on them would spam the
+// coordinator's logs forever).
+func IsAuth(err error) bool {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Code == CodeUnauthorized
+	}
+	var se *HTTPStatusError
+	if errors.As(err, &se) {
+		return se.Status == http.StatusUnauthorized || se.Status == http.StatusForbidden
+	}
+	return false
+}

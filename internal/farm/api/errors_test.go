@@ -1,0 +1,68 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestIsTransient pins the retry taxonomy: typed protocol errors are
+// authoritative, envelope-less statuses follow the 5xx/429/408 rule,
+// cancellation is fatal, and unrecognized transport noise is transient.
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"internal", &Error{Code: CodeInternal}, true},
+		{"bad_request", &Error{Code: CodeBadRequest}, false},
+		{"not_found", &Error{Code: CodeNotFound}, false},
+		{"not_ready", &Error{Code: CodeNotReady}, false},
+		{"lease_gone", &Error{Code: CodeLeaseGone}, false},
+		{"unauthorized", &Error{Code: CodeUnauthorized}, false},
+		{"wrapped internal", fmt.Errorf("call: %w", &Error{Code: CodeInternal}), true},
+		{"http 500", &HTTPStatusError{Status: 500}, true},
+		{"http 503", &HTTPStatusError{Status: 503}, true},
+		{"http 429", &HTTPStatusError{Status: 429}, true},
+		{"http 408", &HTTPStatusError{Status: 408}, true},
+		{"http 400", &HTTPStatusError{Status: 400}, false},
+		{"http 401", &HTTPStatusError{Status: 401}, false},
+		{"http 404", &HTTPStatusError{Status: 404}, false},
+		{"canceled", context.Canceled, false},
+		{"wrapped canceled", fmt.Errorf("x: %w", context.Canceled), false},
+		{"deadline", context.DeadlineExceeded, true},
+		{"transport noise", errors.New("read tcp: connection reset by peer"), true},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestIsAuth pins the credential-rejection classification both for typed
+// envelopes and for raw 401/403 from middleboxes.
+func TestIsAuth(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"unauthorized", &Error{Code: CodeUnauthorized}, true},
+		{"wrapped unauthorized", fmt.Errorf("x: %w", &Error{Code: CodeUnauthorized}), true},
+		{"internal", &Error{Code: CodeInternal}, false},
+		{"http 401", &HTTPStatusError{Status: 401}, true},
+		{"http 403", &HTTPStatusError{Status: 403}, true},
+		{"http 500", &HTTPStatusError{Status: 500}, false},
+		{"transport noise", errors.New("connection refused"), false},
+	}
+	for _, c := range cases {
+		if got := IsAuth(c.err); got != c.want {
+			t.Errorf("IsAuth(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,12 +1,15 @@
 package farm
 
 import (
+	"bufio"
 	"bytes"
 	"context"
+	"crypto/tls"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strings"
@@ -17,28 +20,127 @@ import (
 	"repro/internal/sim"
 )
 
-// Client speaks the api protocol to a coordinator. The zero value is not
-// usable; construct with NewClient.
-type Client struct {
-	base string
-	http *http.Client
+// RetryPolicy bounds the client's transient-error retries: up to Attempts
+// tries per call, sleeping a jittered exponential backoff that starts at
+// Base and caps at Cap. Fatal errors (bad_request, not_found, lease_gone,
+// unauthorized, context cancellation — see api.IsTransient) never retry.
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Cap      time.Duration
 }
 
-// NewClient returns a client for the coordinator at addr. addr may be a
-// bare host:port or a full http:// URL.
+// DefaultRetry rides out a coordinator restart: 8 attempts over roughly
+// 20 seconds of cumulative backoff (100ms, 200ms, ... capped at 5s).
+var DefaultRetry = RetryPolicy{Attempts: 8, Base: 100 * time.Millisecond, Cap: 5 * time.Second}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetry.Attempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetry.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = DefaultRetry.Cap
+	}
+	return p
+}
+
+// ClientOptions configure transport security and resilience. The zero
+// value is a plaintext client with default retries — exactly what
+// NewClient builds.
+type ClientOptions struct {
+	// Token, when non-empty, is attached to every request as an
+	// "Authorization: Bearer" header.
+	Token string
+	// TLS, when non-nil, dials the coordinator over HTTPS with this
+	// config (use LoadClientTLS to build one from PEM files). Bare
+	// host:port addresses then default to the https scheme.
+	TLS *tls.Config
+	// Retry bounds transient-error retries; zero fields take DefaultRetry.
+	Retry RetryPolicy
+	// PollInterval/PollMax pace RunSweep's status polling when the /events
+	// stream is unavailable: jittered backoff from PollInterval (default
+	// 300ms) up to PollMax (default 2s), reset on progress.
+	PollInterval time.Duration
+	PollMax      time.Duration
+}
+
+// Client speaks the api protocol to a coordinator. The zero value is not
+// usable; construct with NewClient or NewClientOpts.
+type Client struct {
+	base     string
+	http     *http.Client
+	token    string
+	retry    RetryPolicy
+	pollBase time.Duration
+	pollMax  time.Duration
+}
+
+// NewClient returns a plaintext client for the coordinator at addr with
+// default retries. addr may be a bare host:port or a full http:// URL.
 func NewClient(addr string) *Client {
+	return NewClientOpts(addr, ClientOptions{})
+}
+
+// NewClientOpts returns a client for the coordinator at addr. addr may be
+// a bare host:port or a full URL; bare addresses default to http://, or
+// https:// when opts.TLS is set.
+func NewClientOpts(addr string, opts ClientOptions) *Client {
 	base := addr
 	if !strings.Contains(base, "://") {
-		base = "http://" + base
+		if opts.TLS != nil {
+			base = "https://" + base
+		} else {
+			base = "http://" + base
+		}
 	}
 	base = strings.TrimRight(base, "/")
 	// No global timeout: lease long-polls legitimately hold a request open
 	// for tens of seconds. Per-call deadlines come from the context.
-	return &Client{base: base, http: &http.Client{}}
+	hc := &http.Client{}
+	if opts.TLS != nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.TLSClientConfig = opts.TLS
+		hc.Transport = tr
+	}
+	c := &Client{
+		base:     base,
+		http:     hc,
+		token:    opts.Token,
+		retry:    opts.Retry.withDefaults(),
+		pollBase: opts.PollInterval,
+		pollMax:  opts.PollMax,
+	}
+	if c.pollBase <= 0 {
+		c.pollBase = 300 * time.Millisecond
+	}
+	if c.pollMax < c.pollBase {
+		c.pollMax = 2 * time.Second
+	}
+	return c
+}
+
+// NewClientFiles builds a client from CLI-style credential file paths: the
+// common -ca/-cert/-key/-token flag plumbing shared by simfarm,
+// simfarm-worker, and experiments. Empty paths mean plaintext; a CA alone
+// pins the server certificate; cert+key adds mutual TLS.
+func NewClientFiles(addr, caFile, certFile, keyFile, token string) (*Client, error) {
+	var tcfg *tls.Config
+	if caFile != "" || certFile != "" || keyFile != "" {
+		var err error
+		tcfg, err = LoadClientTLS(caFile, certFile, keyFile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return NewClientOpts(addr, ClientOptions{Token: token, TLS: tcfg}), nil
 }
 
 // do performs one JSON round trip. A non-2xx response decodes into an
-// *api.Error; transport failures are returned as-is.
+// *api.Error when it carries the protocol envelope, an *api.HTTPStatusError
+// otherwise; transport failures are returned as-is.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -55,17 +157,21 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("farm: client: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		var env api.ErrorEnvelope
-		if jerr := json.NewDecoder(resp.Body).Decode(&env); jerr == nil && env.Err.Code != "" {
+		if jerr := json.Unmarshal(raw, &env); jerr == nil && env.Err.Code != "" {
 			return &env.Err
 		}
-		return fmt.Errorf("farm: client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return &api.HTTPStatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(raw))}
 	}
 	if out == nil {
 		return nil
@@ -76,9 +182,39 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
+// doRetry wraps do with the client's retry policy: transient errors (see
+// api.IsTransient) are retried with jittered exponential backoff until the
+// attempt budget runs out or the context fires; fatal errors return
+// immediately. Retrying is safe across the protocol because every mutating
+// endpoint is idempotent or fenced: submission is content-addressed, and a
+// duplicate heartbeat/complete for a lease the first delivery already
+// settled answers lease_gone, which callers treat as "someone (possibly my
+// own earlier attempt) got there first".
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+	backoff := c.retry.Base
+	for attempt := 1; ; attempt++ {
+		err := c.do(ctx, method, path, in, out)
+		if err == nil || !api.IsTransient(err) || attempt >= c.retry.Attempts {
+			return err
+		}
+		// Full jitter in [backoff/2, backoff): desynchronizes a worker
+		// fleet that all lost the same coordinator at the same instant.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+		select {
+		case <-ctx.Done():
+			return errors.Join(ctx.Err(), err)
+		case <-time.After(sleep):
+		}
+		if backoff *= 2; backoff > c.retry.Cap {
+			backoff = c.retry.Cap
+		}
+	}
+}
+
 // WaitReady polls the coordinator's /progress endpoint until it answers or
 // the timeout passes — the startup handshake for workers and batch clients
-// racing a freshly booted simfarmd.
+// racing a freshly booted simfarmd. Credential rejections fail immediately:
+// no amount of waiting fixes a bad token.
 func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var last error
@@ -88,6 +224,9 @@ func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 		cancel()
 		if err == nil {
 			return nil
+		}
+		if api.IsAuth(err) {
+			return fmt.Errorf("farm: coordinator at %s rejected credentials: %w", c.base, err)
 		}
 		last = err
 		select {
@@ -102,7 +241,7 @@ func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 // Submit submits a sweep (idempotent by content hash).
 func (c *Client) Submit(ctx context.Context, jobs []runspec.Named) (*api.SubmitResponse, error) {
 	var resp api.SubmitResponse
-	if err := c.do(ctx, http.MethodPost, api.PathSubmit, api.SubmitRequest{Jobs: jobs}, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodPost, api.PathSubmit, api.SubmitRequest{Jobs: jobs}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -113,7 +252,7 @@ func (c *Client) Submit(ctx context.Context, jobs []runspec.Named) (*api.SubmitR
 func (c *Client) Lease(ctx context.Context, worker string, wait time.Duration) (*api.Lease, error) {
 	var resp api.LeaseResponse
 	req := api.LeaseRequest{Worker: worker, WaitMS: wait.Milliseconds()}
-	if err := c.do(ctx, http.MethodPost, api.PathLease, req, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodPost, api.PathLease, req, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Job, nil
@@ -121,13 +260,24 @@ func (c *Client) Lease(ctx context.Context, worker string, wait time.Duration) (
 
 // Heartbeat renews a lease.
 func (c *Client) Heartbeat(ctx context.Context, lease string) error {
-	return c.do(ctx, http.MethodPost, api.PathHeartbeat, api.HeartbeatRequest{Lease: lease}, nil)
+	return c.doRetry(ctx, http.MethodPost, api.PathHeartbeat, api.HeartbeatRequest{Lease: lease}, nil)
 }
 
 // Complete pushes a leased job's result or classified failure.
 func (c *Client) Complete(ctx context.Context, req api.CompleteRequest) (*api.CompleteResponse, error) {
 	var resp api.CompleteResponse
-	if err := c.do(ctx, http.MethodPost, api.PathComplete, req, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodPost, api.PathComplete, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Register announces a worker and its capabilities to the coordinator.
+// Advisory: a coordinator predating the endpoint answers 404/405, which
+// callers should treat as "registration unsupported", not failure.
+func (c *Client) Register(ctx context.Context, req api.RegisterRequest) (*api.RegisterResponse, error) {
+	var resp api.RegisterResponse
+	if err := c.doRetry(ctx, http.MethodPost, api.PathWorkers, req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -136,7 +286,7 @@ func (c *Client) Complete(ctx context.Context, req api.CompleteRequest) (*api.Co
 // Sweep fetches a sweep's status.
 func (c *Client) Sweep(ctx context.Context, id string) (*api.SweepStatus, error) {
 	var resp api.SweepStatus
-	if err := c.do(ctx, http.MethodGet, api.PathSweep+id, nil, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodGet, api.PathSweep+id, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -145,35 +295,40 @@ func (c *Client) Sweep(ctx context.Context, id string) (*api.SweepStatus, error)
 // Result fetches one run's summary by spec content hash.
 func (c *Client) Result(ctx context.Context, hash string) (*api.ResultResponse, error) {
 	var resp api.ResultResponse
-	if err := c.do(ctx, http.MethodGet, api.PathResult+hash, nil, &resp); err != nil {
+	if err := c.doRetry(ctx, http.MethodGet, api.PathResult+hash, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// sweepPollInterval paces RunSweep's status polling. Coarse on purpose:
-// simulations run for seconds to minutes, and the submit→poll→fetch loop
-// is correct at any interval.
-const sweepPollInterval = 300 * time.Millisecond
-
 // RunSweep is the batch front door: submit jobs, wait until every job is
 // terminal, and return summaries keyed by job key — the remote equivalent
-// of runner.Run. onDone, when non-nil, is called as jobs reach terminal
-// states (serialized, with monotonically increasing done counts). Failed
-// jobs are reported like the runner reports them: one error per failed
-// job, joined, with every missing key accounted for.
+// of runner.Run. Progress is event-driven when the coordinator's /events
+// stream is available (each lifecycle event triggers a status re-fetch,
+// with a coarse safety poll underneath); when streaming is unavailable or
+// dies, RunSweep falls back to polling with jittered backoff. onDone, when
+// non-nil, is called as jobs reach terminal states (serialized, with
+// monotonically increasing done counts). Failed jobs are reported like the
+// runner reports them: one error per failed job, joined, with every
+// missing key accounted for.
 func (c *Client) RunSweep(ctx context.Context, jobs []runspec.Named, onDone func(done, total int, key string, cached bool)) (map[string]*sim.Summary, error) {
 	sub, err := c.Submit(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	events := c.openEvents(wctx)
+
 	reported := map[string]bool{}
+	backoff := c.pollBase
 	var st *api.SweepStatus
 	for {
 		st, err = c.Sweep(ctx, sub.Sweep)
 		if err != nil {
 			return nil, err
 		}
+		progressed := false
 		if onDone != nil {
 			// Report newly terminal jobs in deterministic (key) order.
 			var fresh []api.JobStatus
@@ -185,16 +340,38 @@ func (c *Client) RunSweep(ctx context.Context, jobs []runspec.Named, onDone func
 			sort.Slice(fresh, func(i, k int) bool { return fresh[i].Key < fresh[k].Key })
 			for _, j := range fresh {
 				reported[j.Key] = true
+				progressed = true
 				onDone(len(reported), len(st.Jobs), j.Key, j.State == api.StateCached)
 			}
 		}
 		if st.Complete {
 			break
 		}
+		if progressed {
+			backoff = c.pollBase // the farm is moving; stay responsive
+		}
+		wait := backoff
+		if events == nil {
+			// Pure polling: jittered exponential backoff up to the cap, so
+			// a thousand idle clients don't synchronize on one coordinator.
+			wait = backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
+			if backoff *= 2; backoff > c.pollMax {
+				backoff = c.pollMax
+			}
+		} else {
+			// Streaming: events drive re-fetches; the timer is only a
+			// safety net against missed/dropped events.
+			wait = c.pollMax
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(sweepPollInterval):
+		case _, ok := <-events:
+			if !ok {
+				events = nil // stream died: fall back to polling
+				backoff = c.pollBase
+			}
+		case <-time.After(wait):
 		}
 	}
 
@@ -213,6 +390,49 @@ func (c *Client) RunSweep(ctx context.Context, jobs []runspec.Named, onDone func
 		results[j.Key] = res.Summary
 	}
 	return results, errors.Join(errs...)
+}
+
+// openEvents subscribes to the coordinator's /events SSE stream and
+// returns a channel that receives one (coalesced) signal per lifecycle
+// event and closes when the stream ends. Returns nil when streaming is
+// unavailable (older coordinator, proxy stripping streaming, transport
+// error) — the caller falls back to polling. The stream lives until ctx
+// fires.
+func (c *Client) openEvents(ctx context.Context) <-chan struct{} {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/events", nil)
+	if err != nil {
+		return nil
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		resp.Body.Close()
+		return nil
+	}
+	ch := make(chan struct{}, 1)
+	go func() {
+		defer resp.Body.Close()
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			if !strings.HasPrefix(sc.Text(), "data:") {
+				continue
+			}
+			select {
+			case ch <- struct{}{}: // coalesce: one pending signal is enough
+			default:
+			}
+		}
+	}()
+	return ch
 }
 
 // terminal reports whether a job state is final.

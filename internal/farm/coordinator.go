@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -40,6 +41,17 @@ type Config struct {
 	Collector *sweep.Collector
 	// Clock is the test seam for lease expiry; nil means time.Now.
 	Clock func() time.Time
+	// Token, when non-empty, is the shared bearer token every request must
+	// present (Authorization: Bearer <token>, compared constant-time).
+	// Enforced by Handler across the whole surface, status endpoints
+	// included. Empty disables token auth.
+	Token string
+	// CompactBytes triggers journal compaction once the journal file
+	// outgrows this many bytes (and has at least doubled since the last
+	// compaction, so a large live state cannot thrash). Default 1 MiB;
+	// negative disables threshold compaction (startup and Close still
+	// compact).
+	CompactBytes int64
 }
 
 // job is the coordinator's bookkeeping for one unique spec hash. A hash
@@ -80,15 +92,20 @@ type Coordinator struct {
 	cfg   Config
 	cache *runner.Cache
 
-	mu       sync.Mutex
-	jobs     map[string]*job // by spec hash
-	queue    []string        // pending hashes, FIFO
-	leases   map[string]*job // live leases by lease ID
-	sweeps   map[string]*sweepState
-	leaseSeq uint64
-	wake     chan struct{} // closed and replaced whenever work is queued
-	journal  *journal
-	jerr     error // first journal write error (reported by Close)
+	quit     chan struct{} // closed by Shutdown: long-polls return empty
+	quitOnce sync.Once
+
+	mu        sync.Mutex
+	jobs      map[string]*job // by spec hash
+	queue     []string        // pending hashes, FIFO
+	leases    map[string]*job // live leases by lease ID
+	sweeps    map[string]*sweepState
+	workers   map[string]*api.WorkerStatus // registered workers by name
+	leaseSeq  uint64
+	wake      chan struct{} // closed and replaced whenever work is queued
+	journal   *journal
+	jerr      error // first journal write error (reported by Close)
+	compacted int64 // journal size right after the last compaction
 }
 
 // sweepState remembers a submitted sweep: its job hashes in submission
@@ -114,26 +131,54 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.CompactBytes == 0 {
+		cfg.CompactBytes = 1 << 20
+	}
+	// Read the previous lifetime's journal before reopening it for append:
+	// replay rebuilds the queue, job table, and sweeps, then compaction
+	// rewrites the file down to the minimal equivalent record set.
+	recs, err := ReadJournal(JournalPath(cfg.CacheDir))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("farm: replay: %w", err)
+	}
 	j, err := openJournal(cfg.CacheDir)
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{
+	c := &Coordinator{
 		cfg:     cfg,
 		cache:   runner.NewCache(cfg.CacheDir),
+		quit:    make(chan struct{}),
 		jobs:    map[string]*job{},
 		leases:  map[string]*job{},
 		sweeps:  map[string]*sweepState{},
+		workers: map[string]*api.WorkerStatus{},
 		wake:    make(chan struct{}),
 		journal: j,
-	}, nil
+	}
+	c.mu.Lock()
+	c.replayLocked(recs)
+	c.compactLocked()
+	c.mu.Unlock()
+	return c, nil
 }
 
-// Close flushes and closes the journal, reporting the first write error
-// encountered during the coordinator's lifetime.
+// Shutdown begins a graceful stop: every long-polling Lease returns empty
+// immediately (workers just poll again and ride out the restart via their
+// retry policy), and no new long-polls park. Idempotent and safe from any
+// goroutine; call before the HTTP server drains so parked lease handlers
+// cannot hold the drain open for the full poll window.
+func (c *Coordinator) Shutdown() {
+	c.quitOnce.Do(func() { close(c.quit) })
+}
+
+// Close compacts the journal down to the live state and closes it,
+// reporting the first journal error encountered during the coordinator's
+// lifetime.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.compactLocked()
 	err := c.journal.close()
 	if c.jerr != nil {
 		return c.jerr
@@ -143,11 +188,18 @@ func (c *Coordinator) Close() error {
 
 // record journals one transition; the first failure is remembered, never
 // propagated into the serving path (the journal is a post-mortem aid, not
-// a dependency). Callers hold c.mu.
+// a dependency). Once the journal outgrows the compaction threshold (and
+// has at least doubled since the last compaction), it is rewritten in
+// place to the minimal live-state record set. Callers hold c.mu.
 func (c *Coordinator) record(rec JournalRecord) {
 	rec.TMS = c.cfg.Clock().UnixMilli()
 	if err := c.journal.append(rec); err != nil && c.jerr == nil {
 		c.jerr = err
+	}
+	if c.cfg.CompactBytes > 0 {
+		if n := c.journal.bytes(); n > c.cfg.CompactBytes && n > 2*c.compacted {
+			c.compactLocked()
+		}
 	}
 }
 
@@ -206,7 +258,7 @@ func (c *Coordinator) Submit(jobs []runspec.Named) (*api.SubmitResponse, error) 
 			st.keys = append(st.keys, nj.Key)
 		}
 		c.sweeps[id] = st
-		c.record(JournalRecord{Kind: "submit", Sweep: id, Jobs: len(jobs)})
+		c.record(JournalRecord{Kind: "submit", Sweep: id, Jobs: len(jobs), Keys: st.keys, Hashes: st.hashes})
 	}
 
 	resp := &api.SubmitResponse{Sweep: id, Jobs: len(st.hashes)}
@@ -225,17 +277,20 @@ func (c *Coordinator) Submit(jobs []runspec.Named) (*api.SubmitResponse, error) 
 			}
 			c.jobs[h] = j
 			c.cfg.Collector.JobQueued(j.key, h)
+			// Spec rides in the journal record so a restarted coordinator
+			// can re-lease (or re-serve) the job from the journal alone.
+			sp := j.spec
 			if sum, ok := c.cache.Load(h); ok {
 				// Corpus hit: the sweep short-circuits dispatch entirely.
 				j.state = api.StateCached
 				j.summary = &runner.Entry{Hash: h, Spec: j.spec.Normalized(), Summary: sum}
 				c.cfg.Collector.CacheHit(j.key)
 				c.cfg.Collector.JobDone(j.key, sweep.OutcomeCached, 0, "")
-				c.record(JournalRecord{Kind: "cached", Sweep: id, Key: j.key, Hash: h})
+				c.record(JournalRecord{Kind: "cached", Sweep: id, Key: j.key, Hash: h, Spec: &sp})
 			} else {
 				c.queue = append(c.queue, h)
 				queuedNew = true
-				c.record(JournalRecord{Kind: "queued", Sweep: id, Key: j.key, Hash: h})
+				c.record(JournalRecord{Kind: "queued", Sweep: id, Key: j.key, Hash: h, Spec: &sp})
 			}
 		}
 		switch j.state {
@@ -265,6 +320,13 @@ func (c *Coordinator) Submit(jobs []runspec.Named) (*api.SubmitResponse, error) 
 func (c *Coordinator) Lease(ctx context.Context, worker string, wait time.Duration) (*api.Lease, error) {
 	deadline := c.cfg.Clock().Add(wait)
 	for {
+		select {
+		case <-c.quit:
+			// Draining for shutdown: answer empty instead of parking or
+			// granting a lease the restart would immediately orphan.
+			return nil, nil
+		default:
+		}
 		c.mu.Lock()
 		c.expireLocked(c.cfg.Clock())
 		if l := c.leaseLocked(worker); l != nil {
@@ -283,6 +345,9 @@ func (c *Coordinator) Lease(ctx context.Context, worker string, wait time.Durati
 		case <-ctx.Done():
 			timer.Stop()
 			return nil, ctx.Err()
+		case <-c.quit:
+			timer.Stop()
+			return nil, nil
 		case <-timer.C:
 			return nil, nil
 		case <-wake:
@@ -309,6 +374,7 @@ func (c *Coordinator) leaseLocked(worker string) *api.Lease {
 		j.worker = worker
 		j.expiry = now.Add(c.cfg.LeaseTTL)
 		c.leases[j.lease] = j
+		c.touchWorkerLocked(worker)
 		c.cfg.Collector.JobStarted(j.key, h)
 		c.cfg.Collector.JobAttempt(j.key, j.attempts)
 		c.record(JournalRecord{Kind: "lease", Key: j.key, Hash: h, Lease: j.lease, Worker: worker, Attempts: j.attempts})
@@ -336,6 +402,7 @@ func (c *Coordinator) Heartbeat(leaseID string) (time.Duration, error) {
 		return 0, &api.Error{Code: api.CodeLeaseGone, Message: fmt.Sprintf("lease %s is unknown or lapsed", leaseID)}
 	}
 	j.expiry = c.cfg.Clock().Add(c.cfg.LeaseTTL)
+	c.touchWorkerLocked(j.worker)
 	return c.cfg.LeaseTTL, nil
 }
 
@@ -356,6 +423,7 @@ func (c *Coordinator) Complete(req api.CompleteRequest) (string, error) {
 	}
 	delete(c.leases, req.Lease)
 	j.lease = ""
+	c.touchWorkerLocked(j.worker)
 
 	if req.Outcome == api.OutcomeOK {
 		if req.Summary == nil {
@@ -511,23 +579,76 @@ func (c *Coordinator) Result(hash string) (*api.ResultResponse, error) {
 	return nil, &api.Error{Code: api.CodeNotFound, Message: fmt.Sprintf("no result for %s", hash)}
 }
 
+// RegisterWorker records (or refreshes) a worker's registration and
+// capability advertisement. Registration is advisory: leasing never
+// requires it, but registered workers appear with liveness on /progress.
+func (c *Coordinator) RegisterWorker(req api.RegisterRequest) (*api.RegisterResponse, error) {
+	if req.Name == "" {
+		return nil, &api.Error{Code: api.CodeBadRequest, Message: "worker name is required"}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock().UnixMilli()
+	w := c.workers[req.Name]
+	if w == nil {
+		w = &api.WorkerStatus{Name: req.Name, FirstSeenMS: now}
+		c.workers[req.Name] = w
+	}
+	w.Version = req.Version
+	w.MaxMemMB = req.MaxMemMB
+	w.TickWorkers = req.TickWorkers
+	w.LastSeenMS = now
+	return &api.RegisterResponse{Workers: len(c.workers)}, nil
+}
+
+// touchWorkerLocked refreshes a registered worker's last-seen time on
+// protocol activity (lease, heartbeat, complete). Unregistered workers are
+// not implicitly created: liveness is only meaningful against an explicit
+// capability advertisement. Callers hold c.mu.
+func (c *Coordinator) touchWorkerLocked(name string) {
+	if w := c.workers[name]; w != nil {
+		w.LastSeenMS = c.cfg.Clock().UnixMilli()
+	}
+}
+
+// workerLiveness is the multiple of LeaseTTL within which a registered
+// worker's last activity counts as live on /progress.
+const workerLiveness = 3
+
+// Workers reports the registered workers sorted by name, with liveness
+// computed against the coordinator's clock.
+func (c *Coordinator) Workers() []api.WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cutoff := c.cfg.Clock().Add(-workerLiveness * c.cfg.LeaseTTL).UnixMilli()
+	out := make([]api.WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		ws := *w
+		ws.Live = ws.LastSeenMS >= cutoff
+		out = append(out, ws)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
 // Stats is a point-in-time census of the coordinator's job table, exposed
-// as farm_* gauges on /metrics.
+// as farm_* gauges on /metrics and under "farm" on /progress.
 type Stats struct {
-	Jobs   int
-	Queued int
-	Leased int
-	Done   int
-	Cached int
-	Failed int
-	Sweeps int
+	Jobs    int `json:"jobs"`
+	Queued  int `json:"queued"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	Cached  int `json:"cached"`
+	Failed  int `json:"failed"`
+	Sweeps  int `json:"sweeps"`
+	Workers int `json:"workers"`
 }
 
 // Snapshot returns the current Stats.
 func (c *Coordinator) Snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := Stats{Jobs: len(c.jobs), Sweeps: len(c.sweeps)}
+	s := Stats{Jobs: len(c.jobs), Sweeps: len(c.sweeps), Workers: len(c.workers)}
 	for _, j := range c.jobs {
 		switch j.state {
 		case api.StateQueued:

@@ -1,0 +1,186 @@
+// Package devtls mints a self-contained development PKI for the sweep
+// farm: one self-signed CA, one server certificate (for simfarmd), and one
+// client certificate (for workers and batch clients under mutual TLS).
+// Everything is generated in-process with the standard library — no
+// openssl, no files checked into the repository, no dependency on ambient
+// trust stores. cmd/gencert wraps it for scripts; the farm's TLS tests and
+// scripts/farmsmoke.sh call it to encrypt their end-to-end runs.
+//
+// These certificates are for development and testing. Production farms
+// should use an organization CA; the coordinator and clients only consume
+// PEM files, so swapping the issuer changes nothing else.
+package devtls
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Bundle holds a freshly generated dev PKI as PEM bytes.
+type Bundle struct {
+	CACert     []byte // ca.pem — trust anchor for servers and (as client CA) workers
+	CAKey      []byte // ca-key.pem
+	ServerCert []byte // server.pem
+	ServerKey  []byte // server-key.pem
+	ClientCert []byte // client.pem
+	ClientKey  []byte // client-key.pem
+}
+
+// Generate mints a CA plus server and client certificates. hosts lists the
+// names/IPs the server certificate must verify as; localhost, 127.0.0.1,
+// and ::1 are always included so loopback farms work out of the box.
+// Certificates are valid from an hour in the past (clock-skew slack) for
+// 30 days — long enough for any CI run or dev sandbox, short enough that a
+// leaked dev cert ages out.
+func Generate(hosts ...string) (*Bundle, error) {
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("devtls: CA key: %w", err)
+	}
+	notBefore := time.Now().Add(-time.Hour)
+	notAfter := notBefore.Add(30*24*time.Hour + time.Hour)
+	caTmpl := &x509.Certificate{
+		SerialNumber:          newSerial(),
+		Subject:               pkix.Name{CommonName: "itesp farm dev CA"},
+		NotBefore:             notBefore,
+		NotAfter:              notAfter,
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageCRLSign,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return nil, fmt.Errorf("devtls: CA cert: %w", err)
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, fmt.Errorf("devtls: parse CA cert: %w", err)
+	}
+
+	serverTmpl := &x509.Certificate{
+		SerialNumber: newSerial(),
+		Subject:      pkix.Name{CommonName: "itesp farm coordinator"},
+		NotBefore:    notBefore,
+		NotAfter:     notAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.ParseIP("127.0.0.1"), net.ParseIP("::1")},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			serverTmpl.IPAddresses = append(serverTmpl.IPAddresses, ip)
+		} else if h != "" && h != "localhost" {
+			serverTmpl.DNSNames = append(serverTmpl.DNSNames, h)
+		}
+	}
+	serverCert, serverKey, err := issue(serverTmpl, caCert, caKey)
+	if err != nil {
+		return nil, fmt.Errorf("devtls: server cert: %w", err)
+	}
+
+	clientTmpl := &x509.Certificate{
+		SerialNumber: newSerial(),
+		Subject:      pkix.Name{CommonName: "itesp farm client"},
+		NotBefore:    notBefore,
+		NotAfter:     notAfter,
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}
+	clientCert, clientKey, err := issue(clientTmpl, caCert, caKey)
+	if err != nil {
+		return nil, fmt.Errorf("devtls: client cert: %w", err)
+	}
+
+	caKeyPEM, err := keyPEM(caKey)
+	if err != nil {
+		return nil, fmt.Errorf("devtls: CA key PEM: %w", err)
+	}
+	return &Bundle{
+		CACert:     certPEM(caDER),
+		CAKey:      caKeyPEM,
+		ServerCert: serverCert,
+		ServerKey:  serverKey,
+		ClientCert: clientCert,
+		ClientKey:  clientKey,
+	}, nil
+}
+
+// WriteDir writes the bundle's six PEM files into dir (created as needed):
+// ca.pem, ca-key.pem, server.pem, server-key.pem, client.pem,
+// client-key.pem. Keys land with 0600 permissions, certificates 0644.
+func (b *Bundle) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		data []byte
+		mode os.FileMode
+	}{
+		{"ca.pem", b.CACert, 0o644},
+		{"ca-key.pem", b.CAKey, 0o600},
+		{"server.pem", b.ServerCert, 0o644},
+		{"server-key.pem", b.ServerKey, 0o600},
+		{"client.pem", b.ClientCert, 0o644},
+		{"client-key.pem", b.ClientKey, 0o600},
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f.name), f.data, f.mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// issue signs tmpl with the CA and returns cert+key PEM.
+func issue(tmpl, ca *x509.Certificate, caKey *ecdsa.PrivateKey) (certOut, keyOut []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca, &key.PublicKey, caKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	kp, err := keyPEM(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	return certPEM(der), kp, nil
+}
+
+func certPEM(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+}
+
+func keyPEM(key *ecdsa.PrivateKey) ([]byte, error) {
+	der, err := x509.MarshalPKCS8PrivateKey(key)
+	if err != nil {
+		return nil, err
+	}
+	return pem.EncodeToMemory(&pem.Block{Type: "PRIVATE KEY", Bytes: der}), nil
+}
+
+// newSerial draws a random 128-bit certificate serial. Randomness (not a
+// counter) keeps repeated dev generations from colliding in trust stores
+// that key on (issuer, serial).
+func newSerial() *big.Int {
+	limit := new(big.Int).Lsh(big.NewInt(1), 128)
+	n, err := rand.Int(rand.Reader, limit)
+	if err != nil {
+		// crypto/rand failure is unrecoverable for key generation anyway.
+		panic(fmt.Sprintf("devtls: serial: %v", err))
+	}
+	return n
+}

@@ -1,0 +1,233 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/farm/api"
+	"repro/internal/obs/sweep"
+	"repro/internal/runspec"
+	"repro/internal/sim"
+)
+
+// fastRetry keeps retry tests quick: the policy shape is what's under test,
+// not the wall-clock pacing.
+var fastRetry = RetryPolicy{Attempts: 5, Base: time.Millisecond, Cap: 5 * time.Millisecond}
+
+// TestClientRetriesTransient: a coordinator that answers 503 twice (a
+// restart in progress) is ridden out — the call succeeds on the third try.
+func TestClientRetriesTransient(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(api.SubmitResponse{Sweep: "s", Jobs: 1, Pending: 1})
+	}))
+	defer srv.Close()
+
+	cl := NewClientOpts(srv.URL, ClientOptions{Retry: fastRetry})
+	sub, err := cl.Submit(context.Background(), []runspec.Named{protoJob("a", 1)})
+	if err != nil {
+		t.Fatalf("submit through transient 503s: %v", err)
+	}
+	if sub.Sweep != "s" || hits.Load() != 3 {
+		t.Fatalf("want success on hit 3, got %+v after %d hits", sub, hits.Load())
+	}
+}
+
+// TestClientFatalNoRetry: a typed protocol rejection returns immediately —
+// retrying a bad_request can only produce more bad_requests.
+func TestClientFatalNoRetry(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(api.ErrorEnvelope{Err: api.Error{Code: api.CodeBadRequest, Message: "nope"}})
+	}))
+	defer srv.Close()
+
+	cl := NewClientOpts(srv.URL, ClientOptions{Retry: fastRetry})
+	_, err := cl.Submit(context.Background(), []runspec.Named{protoJob("a", 1)})
+	if errCode(t, err) != api.CodeBadRequest {
+		t.Fatalf("want bad_request, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("fatal error must not retry: %d hits", hits.Load())
+	}
+}
+
+// TestClientRetryExhausts: a persistently dead coordinator fails after
+// exactly the attempt budget, surfacing the final status error.
+func TestClientRetryExhausts(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	cl := NewClientOpts(srv.URL, ClientOptions{Retry: fastRetry})
+	_, err := cl.Submit(context.Background(), []runspec.Named{protoJob("a", 1)})
+	var se *api.HTTPStatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadGateway {
+		t.Fatalf("want HTTP 502 after exhaustion, got %v", err)
+	}
+	if got := hits.Load(); got != int32(fastRetry.Attempts) {
+		t.Fatalf("want exactly %d attempts, got %d", fastRetry.Attempts, got)
+	}
+}
+
+// TestClientBackoffHonorsContext: a context that fires mid-backoff cuts the
+// retry loop short and reports both the cancellation and the last error.
+func TestClientBackoffHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	// A long base forces the loop to park in backoff when the context fires.
+	cl := NewClientOpts(srv.URL, ClientOptions{Retry: RetryPolicy{Attempts: 8, Base: 30 * time.Second, Cap: 30 * time.Second}})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.Submit(ctx, []runspec.Named{protoJob("a", 1)})
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context cancellation must cut the backoff short")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want the context error in the chain, got %v", err)
+	}
+	var se *api.HTTPStatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("want the last transient error joined in, got %v", err)
+	}
+}
+
+// completeSweep drains the queue as an inline worker: lease and complete
+// until the queue is empty, pacing so lifecycle events spread out in time.
+func completeSweep(t *testing.T, cl *Client) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		lease, err := cl.Lease(ctx, "inline", 0)
+		if err != nil {
+			t.Errorf("lease: %v", err)
+			return
+		}
+		if lease == nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if _, err := cl.Complete(ctx, api.CompleteRequest{
+			Lease: lease.ID, Outcome: api.OutcomeOK, Summary: &sim.Summary{Cycles: 1},
+		}); err != nil {
+			t.Errorf("complete: %v", err)
+			return
+		}
+	}
+}
+
+// TestRunSweepEventDriven: with a collector attached, RunSweep rides the
+// /events stream — the sweep finishes long before the (deliberately huge)
+// polling floor could have noticed, proving events drove the re-fetches.
+func TestRunSweepEventDriven(t *testing.T) {
+	_, cl := testFarm(t, Config{Collector: sweep.New()})
+	// Polling alone would need ≥20s to observe completion; events must win.
+	slow := NewClientOpts(cl.base, ClientOptions{PollInterval: 20 * time.Second, PollMax: 30 * time.Second})
+
+	jobs := []runspec.Named{protoJob("a", 1), protoJob("b", 2)}
+	go func() {
+		// Give RunSweep time to submit and subscribe before completing.
+		time.Sleep(100 * time.Millisecond)
+		completeSweep(t, cl)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	start := time.Now()
+	var reports int
+	res, err := slow.RunSweep(ctx, jobs, func(done, total int, key string, cached bool) { reports++ })
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("event-driven sweep took %v — events did not drive completion", elapsed)
+	}
+	if len(res) != 2 || reports != 2 {
+		t.Fatalf("results %d, reports %d, want 2/2", len(res), reports)
+	}
+}
+
+// TestRunSweepPollingFallback: without a collector the coordinator answers
+// /events with 501, so RunSweep must fall back to jittered-backoff polling
+// and still converge.
+func TestRunSweepPollingFallback(t *testing.T) {
+	_, cl := testFarm(t, Config{}) // no collector → /events unavailable
+	poller := NewClientOpts(cl.base, ClientOptions{PollInterval: 5 * time.Millisecond, PollMax: 25 * time.Millisecond})
+
+	jobs := []runspec.Named{protoJob("a", 1), protoJob("b", 2)}
+	go completeSweep(t, cl)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := poller.RunSweep(ctx, jobs, nil)
+	if err != nil {
+		t.Fatalf("RunSweep without events: %v", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results: %d, want 2", len(res))
+	}
+}
+
+// TestChaosShutdownDrainsParkedLease: Shutdown must unpark a long-polling
+// lease immediately (empty grant, no error) and answer later long-polls
+// without parking — the property simfarmd's SIGTERM drain depends on to
+// finish inside its HTTP shutdown window.
+func TestChaosShutdownDrainsParkedLease(t *testing.T) {
+	co, cl := testFarm(t, Config{})
+	ctx := context.Background()
+
+	type got struct {
+		lease *api.Lease
+		err   error
+	}
+	ch := make(chan got, 1)
+	go func() {
+		l, err := cl.Lease(ctx, "parked", 25*time.Second)
+		ch <- got{l, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+	co.Shutdown()
+
+	select {
+	case g := <-ch:
+		if g.err != nil || g.lease != nil {
+			t.Fatalf("drained long-poll must answer empty: %+v %v", g.lease, g.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown must unpark the lease well before its window")
+	}
+
+	// Post-shutdown: new long-polls answer empty immediately, even with
+	// work queued — nothing may be granted into a dying lifetime.
+	if _, err := cl.Submit(ctx, []runspec.Named{protoJob("a", 1)}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	l, err := cl.Lease(ctx, "late", 25*time.Second)
+	if err != nil || l != nil {
+		t.Fatalf("post-shutdown lease: %+v %v", l, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("post-shutdown long-poll must not park")
+	}
+}

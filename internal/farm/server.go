@@ -1,10 +1,13 @@
 package farm
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/farm/api"
@@ -21,7 +24,8 @@ const maxLeaseWait = 30 * time.Second
 // (/progress, /metrics, /events, /debug/pprof/), aggregated across every
 // worker via the coordinator's collector. The route table is the single
 // source of truth — a route added there without a handler here panics at
-// startup rather than 404-ing at runtime.
+// startup rather than 404-ing at runtime. When Config.Token is set, the
+// whole surface (status endpoints included) requires the bearer token.
 func Handler(c *Coordinator) http.Handler {
 	reg := obs.NewRegistry()
 	c.cfg.Collector.Register(reg)
@@ -46,7 +50,13 @@ func Handler(c *Coordinator) http.Handler {
 			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleHeartbeat)
 		case api.PathComplete:
 			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleComplete)
-		case "/progress", "/metrics", "/events":
+		case api.PathWorkers:
+			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleWorkers)
+		case "/progress":
+			// The farm owns /progress: the collector snapshot plus the job
+			// census and registered-worker liveness in one report.
+			mux.HandleFunc(rt.Method+" "+rt.Path, c.handleProgress)
+		case "/metrics", "/events":
 			mux.Handle(rt.Method+" "+rt.Path, status)
 		case "/debug/pprof/":
 			mux.Handle(rt.Path, status)
@@ -60,7 +70,57 @@ func Handler(c *Coordinator) http.Handler {
 			fmt.Fprintf(w, "%-4s %-22s %s\n", rt.Method, rt.Path, rt.Doc)
 		}
 	})
-	return mux
+	return withAuth(c.cfg.Token, mux)
+}
+
+// withAuth enforces the shared bearer token across the whole surface.
+// Tokens are compared as SHA-256 digests with crypto/subtle so the check
+// is constant-time and independent of the attacker-controlled length. An
+// empty configured token disables the check (plaintext dev farms).
+func withAuth(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		sum := sha256.Sum256([]byte(got))
+		if subtle.ConstantTimeCompare(want[:], sum[:]) != 1 {
+			writeErr(w, &api.Error{Code: api.CodeUnauthorized, Message: "missing or invalid bearer token"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// ProgressReport is the coordinator's /progress body: the aggregated
+// sweep-lifecycle snapshot, the farm job census, and the registered
+// workers with liveness.
+type ProgressReport struct {
+	Sweep   sweep.Progress     `json:"sweep"`
+	Farm    Stats              `json:"farm"`
+	Workers []api.WorkerStatus `json:"workers"`
+}
+
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ProgressReport{
+		Sweep:   c.cfg.Collector.Snapshot(),
+		Farm:    c.Snapshot(),
+		Workers: c.Workers(),
+	})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	var req api.RegisterRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	resp, err := c.RegisterWorker(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, resp)
 }
 
 // registerFarmGauges exposes the coordinator's job census as farm_* gauges
@@ -76,6 +136,7 @@ func registerFarmGauges(reg *obs.Registry, c *Coordinator) {
 	g("cached", func(s Stats) int { return s.Cached })
 	g("failed", func(s Stats) int { return s.Failed })
 	g("sweeps", func(s Stats) int { return s.Sweeps })
+	g("workers", func(s Stats) int { return s.Workers })
 }
 
 // writeJSON writes v as the 200 response body.
@@ -103,6 +164,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case api.CodeLeaseGone:
 		status = http.StatusGone
+	case api.CodeUnauthorized:
+		status = http.StatusUnauthorized
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

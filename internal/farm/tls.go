@@ -1,0 +1,73 @@
+package farm
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"os"
+)
+
+// LoadServerTLS builds the coordinator's TLS config from PEM files: the
+// server certificate/key pair, plus an optional client CA. When
+// clientCAFile is non-empty the config requires and verifies a client
+// certificate signed by that CA (mutual TLS); otherwise any client may
+// connect and authentication is the bearer token's job.
+func LoadServerTLS(certFile, keyFile, clientCAFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("farm: load server cert: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if clientCAFile != "" {
+		pool, err := loadCertPool(clientCAFile)
+		if err != nil {
+			return nil, fmt.Errorf("farm: load client CA: %w", err)
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// LoadClientTLS builds a client-side TLS config: caFile pins the
+// coordinator's CA (required for the self-signed dev CA; empty falls back
+// to the system roots), and certFile/keyFile present a client certificate
+// when the coordinator runs mutual TLS. certFile and keyFile must be given
+// together or not at all.
+func LoadClientTLS(caFile, certFile, keyFile string) (*tls.Config, error) {
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("farm: load CA: %w", err)
+		}
+		cfg.RootCAs = pool
+	}
+	switch {
+	case certFile != "" && keyFile != "":
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("farm: load client cert: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	case certFile != "" || keyFile != "":
+		return nil, fmt.Errorf("farm: client cert and key must be given together")
+	}
+	return cfg, nil
+}
+
+// loadCertPool reads a PEM bundle into a fresh pool.
+func loadCertPool(file string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("%s: no certificates found", file)
+	}
+	return pool, nil
+}

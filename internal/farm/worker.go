@@ -36,11 +36,22 @@ type WorkerOptions struct {
 	IdleExit time.Duration
 	// TickWorkers requests channel-parallel DRAM ticking for leased runs
 	// whose specs leave it unset. Results (and hashes) are unchanged — it
-	// is the same execution-only knob the CLIs expose.
+	// is the same execution-only knob the CLIs expose. Also advertised as a
+	// capability at registration.
 	TickWorkers int
+	// MaxMemMB advertises the worker's simulation memory budget at
+	// registration (0 = unknown). Advisory: the coordinator surfaces it on
+	// /progress, it does not gate leasing.
+	MaxMemMB int
 	// Logf, when non-nil, receives one line per lease/completion.
 	Logf func(format string, args ...any)
 }
+
+// ErrUnauthorized marks a worker run that stopped because the coordinator
+// rejected its credentials. Fatal by construction: retrying the same token
+// or certificate cannot succeed, so callers should exit distinctly (see
+// cmd/simfarm-worker) instead of hammering the coordinator.
+var ErrUnauthorized = errors.New("farm: worker: coordinator rejected credentials")
 
 // Work runs the pull loop: lease → execute through the runner (with the
 // local cache and lease heartbeats) → push the summary or classified
@@ -67,6 +78,26 @@ func Work(ctx context.Context, o WorkerOptions) (int, error) {
 		cache = runner.NewCache(o.CacheDir)
 	}
 
+	// Register capabilities up front (best effort: an older coordinator
+	// without the endpoint answers 404/405 and leasing works regardless).
+	// A credential rejection here is fatal — every later call would be
+	// rejected the same way.
+	rctx, rcancel := context.WithTimeout(ctx, 10*time.Second)
+	reg, rerr := o.Client.Register(rctx, api.RegisterRequest{
+		Name: o.Name, Version: api.Version, MaxMemMB: o.MaxMemMB, TickWorkers: o.TickWorkers,
+	})
+	rcancel()
+	switch {
+	case rerr == nil:
+		logf("registered with coordinator (%d workers known)", reg.Workers)
+	case api.IsAuth(rerr):
+		return 0, fmt.Errorf("%w: %v", ErrUnauthorized, rerr)
+	case ctx.Err() != nil:
+		return 0, nil
+	default:
+		logf("worker registration unavailable: %v", rerr)
+	}
+
 	executed := 0
 	idleSince := time.Now()
 	const maxConsecutiveErrs = 10
@@ -79,6 +110,9 @@ func Work(ctx context.Context, o WorkerOptions) (int, error) {
 		if err != nil {
 			if ctx.Err() != nil {
 				return executed, nil
+			}
+			if api.IsAuth(err) {
+				return executed, fmt.Errorf("%w: %v", ErrUnauthorized, err)
 			}
 			consecutiveErrs++
 			if consecutiveErrs >= maxConsecutiveErrs {
@@ -122,12 +156,25 @@ func (o WorkerOptions) runLease(ctx context.Context, cache *runner.Cache, lease 
 		Cache:          cache,
 		JobTimeout:     o.JobTimeout,
 		HeartbeatEvery: hbEvery,
-		OnHeartbeat: func(runner.Job) {
+		OnHeartbeat: func(runner.Job) error {
 			hctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 			defer cancel()
-			if err := o.Client.Heartbeat(hctx, lease.ID); err != nil {
-				logf("heartbeat %s: %v", lease.ID, err)
+			err := o.Client.Heartbeat(hctx, lease.ID)
+			if err == nil {
+				return nil
 			}
+			if heartbeatFatal(err) {
+				// lease_gone or a credential rejection: the attempt is
+				// worthless now — cancel it rather than simulate on.
+				logf("heartbeat %s: lease lost: %v", lease.ID, err)
+				return err
+			}
+			// Transient (coordinator restarting, network blip): keep
+			// simulating; the client already retried with backoff, and the
+			// next tick tries again. The lease may lapse server-side, but
+			// that is the expiry path's call, not ours.
+			logf("heartbeat %s: %v", lease.ID, err)
+			return nil
 		},
 	}
 	results, _, err := runner.Run(ctx, ropts, []runner.Job{{Key: lease.Key, Spec: spec}})
@@ -140,6 +187,12 @@ func (o WorkerOptions) runLease(ctx context.Context, cache *runner.Cache, lease 
 	default:
 		var pe *runner.PanicError
 		switch {
+		case errors.Is(err, runner.ErrHeartbeatCanceled):
+			// The coordinator already revoked this lease (and requeued or
+			// failed the job under its own accounting); a Complete push
+			// would only be answered lease_gone.
+			logf("lease %s lost mid-attempt, abandoned", lease.ID)
+			return
 		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 			// Shutdown mid-job: don't classify, just let the lease lapse so
 			// the coordinator re-queues with its own accounting.
@@ -161,8 +214,28 @@ func (o WorkerOptions) runLease(ctx context.Context, cache *runner.Cache, lease 
 	defer cancel()
 	resp, cerr := o.Client.Complete(pctx, req)
 	if cerr != nil {
+		var ae *api.Error
+		if errors.As(cerr, &ae) && ae.Code == api.CodeLeaseGone {
+			// Benign: the lease lapsed while we pushed, or a retried
+			// delivery raced its own duplicate. The job is the
+			// coordinator's to account either way.
+			logf("complete %s: lease already settled", lease.ID)
+			return
+		}
 		logf("complete %s: %v", lease.ID, cerr)
 		return
 	}
 	logf("done %s: %s → %s", lease.ID, lease.Key, resp.State)
+}
+
+// heartbeatFatal classifies a heartbeat error as attempt-ending: the
+// coordinator explicitly revoked the lease (lease_gone) or rejected our
+// credentials. Transport failures and 5xx are transient — the coordinator
+// may be mid-restart with the lease safely journaled.
+func heartbeatFatal(err error) bool {
+	var ae *api.Error
+	if errors.As(err, &ae) && ae.Code == api.CodeLeaseGone {
+		return true
+	}
+	return api.IsAuth(err)
 }

@@ -41,6 +41,13 @@ func (e *PanicError) Error() string {
 // canceled job never ran.
 var ErrJobTimeout = errors.New("runner: job timeout exceeded")
 
+// ErrHeartbeatCanceled marks an attempt aborted because the OnHeartbeat
+// hook returned an error: the executor's claim on the job is gone (e.g. a
+// farm lease expired or was revoked), so the simulation was cancelled
+// mid-flight rather than burning CPU on work nobody will accept. Not
+// retryable, and deliberately distinct from batch cancellation.
+var ErrHeartbeatCanceled = errors.New("runner: attempt abandoned on heartbeat failure")
+
 // Options configure a batch run.
 type Options struct {
 	// Parallel bounds concurrent simulations (default: GOMAXPROCS-1,
@@ -98,8 +105,13 @@ type Options struct {
 	// itself is gone, never because a long simulation looked idle. The hook
 	// runs concurrently with the simulation, must be cheap, and must not
 	// panic; it stops (and is waited for) before the attempt's outcome is
-	// classified.
-	OnHeartbeat    func(j Job)
+	// classified. Returning a non-nil error cancels the in-flight attempt:
+	// the simulation's context fires, and if the attempt then fails it is
+	// reported as ErrHeartbeatCanceled (terminal, never retried) carrying
+	// the hook's error. Transient heartbeat hiccups should return nil; only
+	// a definitive "this attempt is worthless now" (lease gone, credentials
+	// rejected) should return an error.
+	OnHeartbeat    func(j Job) error
 	HeartbeatEvery time.Duration
 	// Telemetry, when non-nil, receives a job-lifecycle event at every
 	// transition: queued → started → attempt N → cache hit/miss →
@@ -441,7 +453,15 @@ func runOnce(ctx context.Context, opts Options, j Job, cfg sim.Config) (sum *sim
 		jctx, cancel = context.WithTimeout(jctx, opts.JobTimeout)
 		defer cancel()
 	}
+	var hbMu sync.Mutex
+	var hbErr error
 	if opts.OnHeartbeat != nil && opts.HeartbeatEvery > 0 {
+		// A failing heartbeat cancels the attempt's context so the
+		// simulation aborts cooperatively instead of running to completion
+		// for a claim that no longer exists.
+		var hbCancel context.CancelFunc
+		jctx, hbCancel = context.WithCancel(jctx)
+		defer hbCancel()
 		stop := make(chan struct{})
 		done := make(chan struct{})
 		go func() {
@@ -453,7 +473,13 @@ func runOnce(ctx context.Context, opts Options, j Job, cfg sim.Config) (sum *sim
 				case <-stop:
 					return
 				case <-t.C:
-					opts.OnHeartbeat(j)
+					if err := opts.OnHeartbeat(j); err != nil {
+						hbMu.Lock()
+						hbErr = err
+						hbMu.Unlock()
+						hbCancel()
+						return
+					}
 				}
 			}
 		}()
@@ -474,6 +500,16 @@ func runOnce(ctx context.Context, opts Options, j Job, cfg sim.Config) (sum *sim
 	cfg.Obs = ob
 	res, s, err := runSim(jctx, cfg)
 	if err != nil {
+		hbMu.Lock()
+		herr := hbErr
+		hbMu.Unlock()
+		if herr != nil {
+			// The heartbeat hook condemned the attempt and the cancel took
+			// it down. Wrap only ErrHeartbeatCanceled (%w) — the underlying
+			// context.Canceled must not leak into the chain, or the failure
+			// would misclassify as batch cancellation.
+			return nil, fmt.Errorf("%w: %v (attempt error: %v)", ErrHeartbeatCanceled, herr, err)
+		}
 		if opts.JobTimeout > 0 && jctx.Err() != nil && errors.Is(err, context.DeadlineExceeded) {
 			// The job's own deadline fired, not the batch context: report a
 			// retryable timeout that deliberately does not wrap the

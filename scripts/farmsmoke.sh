@@ -6,12 +6,30 @@
 # the same corpus with no worker running — every job must come back
 # cached with byte-identical summaries.
 #
-# Usage: scripts/farmsmoke.sh [addr]   (default 127.0.0.1:18344)
+# Runs the cold+warm cycle in one or both transport modes:
+#
+#   plain  coordinator and clients over plaintext HTTP
+#   tls    coordinator under mutual TLS + bearer-token auth, certificates
+#          minted on the fly with cmd/gencert; also asserts that a client
+#          with a bad token is rejected and that the worker exits with the
+#          distinct auth code (4)
+#
+# Usage: scripts/farmsmoke.sh [plain|tls|both] [addr]
+#        (default: both, 127.0.0.1:18344)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-ADDR=${1:-127.0.0.1:18344}
+MODE=${1:-both}
+ADDR=${2:-127.0.0.1:18344}
+case "$MODE" in
+plain | tls | both) ;;
+*)
+    echo "farmsmoke: unknown mode '$MODE' (want plain, tls, or both)" >&2
+    exit 2
+    ;;
+esac
+
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/farmsmoke.XXXXXX")
 
 DPID=""
@@ -28,47 +46,113 @@ echo "farmsmoke: building binaries into $WORK"
 go build -o "$WORK/simfarmd" ./cmd/simfarmd
 go build -o "$WORK/simfarm-worker" ./cmd/simfarm-worker
 go build -o "$WORK/simfarm" ./cmd/simfarm
+if [ "$MODE" != "plain" ]; then
+    go build -o "$WORK/gencert" ./cmd/gencert
+    "$WORK/gencert" -dir "$WORK/certs"
+    TOKEN=smoke-$$
+fi
 
-echo "farmsmoke: cold run (coordinator + 1 worker) on $ADDR"
-"$WORK/simfarmd" -addr "$ADDR" -cache-dir "$WORK/corpus" 2>"$WORK/simfarmd.log" &
-DPID=$!
-"$WORK/simfarm-worker" -farm "$ADDR" -name smokebox \
-    -cache-dir "$WORK/worker.cache" -exit-idle 5s 2>"$WORK/worker.log" &
-WPID=$!
+# run_cycle <tag> <daemon args...> — one cold+warm cycle against a fresh
+# corpus. CLIENT_ARGS / WORKER_ARGS carry the matching client credentials.
+run_cycle() {
+    tag=$1
+    shift
+    corpus="$WORK/corpus-$tag"
 
-"$WORK/simfarm" -farm "$ADDR" -submit examples/farm/specs.json -wait \
-    -out "$WORK/cold.json"
+    echo "farmsmoke[$tag]: cold run (coordinator + 1 worker) on $ADDR"
+    # shellcheck disable=SC2086
+    "$WORK/simfarmd" -addr "$ADDR" -cache-dir "$corpus" "$@" 2>"$WORK/simfarmd-$tag.log" &
+    DPID=$!
+    # shellcheck disable=SC2086
+    "$WORK/simfarm-worker" -farm "$ADDR" -name smokebox $WORKER_ARGS \
+        -cache-dir "$WORK/worker-$tag.cache" -exit-idle 5s 2>"$WORK/worker-$tag.log" &
+    WPID=$!
 
-wait "$WPID" || { echo "farmsmoke: worker exited non-zero" >&2; cat "$WORK/worker.log" >&2; exit 1; }
-WPID=""
-kill "$DPID" && wait "$DPID" 2>/dev/null || true
-DPID=""
+    # shellcheck disable=SC2086
+    "$WORK/simfarm" -farm "$ADDR" $CLIENT_ARGS -submit examples/farm/specs.json -wait \
+        -out "$WORK/cold-$tag.json"
 
-grep -q 'executed 3 jobs' "$WORK/worker.log" || {
-    echo "farmsmoke: worker did not execute all 3 jobs" >&2
-    cat "$WORK/worker.log" >&2
-    exit 1
+    wait "$WPID" || { echo "farmsmoke[$tag]: worker exited non-zero" >&2; cat "$WORK/worker-$tag.log" >&2; exit 1; }
+    WPID=""
+    # SIGTERM must drain gracefully: flush the journal and exit 0.
+    kill "$DPID"
+    wait "$DPID" || { echo "farmsmoke[$tag]: coordinator did not drain cleanly on SIGTERM" >&2; cat "$WORK/simfarmd-$tag.log" >&2; exit 1; }
+    DPID=""
+
+    grep -q 'executed 3 jobs' "$WORK/worker-$tag.log" || {
+        echo "farmsmoke[$tag]: worker did not execute all 3 jobs" >&2
+        cat "$WORK/worker-$tag.log" >&2
+        exit 1
+    }
+    [ -f "$corpus/farm-journal.jsonl" ] || {
+        echo "farmsmoke[$tag]: coordinator wrote no farm journal" >&2
+        exit 1
+    }
+
+    echo "farmsmoke[$tag]: warm run (fresh coordinator, same corpus, no worker)"
+    # shellcheck disable=SC2086
+    "$WORK/simfarmd" -addr "$ADDR" -cache-dir "$corpus" "$@" 2>>"$WORK/simfarmd-$tag.log" &
+    DPID=$!
+
+    # shellcheck disable=SC2086
+    "$WORK/simfarm" -farm "$ADDR" $CLIENT_ARGS -submit examples/farm/specs.json -wait \
+        -out "$WORK/warm-$tag.json" 2>"$WORK/warm-$tag.progress"
+
+    grep -c '(cached)$' "$WORK/warm-$tag.progress" | grep -qx 3 || {
+        echo "farmsmoke[$tag]: warm resubmit was not fully served from the corpus" >&2
+        cat "$WORK/warm-$tag.progress" >&2
+        exit 1
+    }
+    cmp "$WORK/cold-$tag.json" "$WORK/warm-$tag.json" || {
+        echo "farmsmoke[$tag]: warm summaries differ from cold summaries" >&2
+        exit 1
+    }
+    # Release the address for the next cycle.
+    kill "$DPID" && wait "$DPID" 2>/dev/null || true
+    DPID=""
+    echo "farmsmoke[$tag]: OK (3 jobs simulated cold, 3 served cached, summaries identical)"
 }
-[ -f "$WORK/corpus/farm-journal.jsonl" ] || {
-    echo "farmsmoke: coordinator wrote no farm journal" >&2
-    exit 1
-}
 
-echo "farmsmoke: warm run (fresh coordinator, same corpus, no worker)"
-"$WORK/simfarmd" -addr "$ADDR" -cache-dir "$WORK/corpus" 2>>"$WORK/simfarmd.log" &
-DPID=$!
+if [ "$MODE" = "plain" ] || [ "$MODE" = "both" ]; then
+    CLIENT_ARGS=""
+    WORKER_ARGS=""
+    run_cycle plain
+fi
 
-"$WORK/simfarm" -farm "$ADDR" -submit examples/farm/specs.json -wait \
-    -out "$WORK/warm.json" 2>"$WORK/warm.progress"
+if [ "$MODE" = "tls" ] || [ "$MODE" = "both" ]; then
+    CLIENT_ARGS="-ca $WORK/certs/ca.pem -cert $WORK/certs/client.pem -key $WORK/certs/client-key.pem -token $TOKEN"
+    WORKER_ARGS="$CLIENT_ARGS"
+    run_cycle tls \
+        -tls-cert "$WORK/certs/server.pem" -tls-key "$WORK/certs/server-key.pem" \
+        -tls-client-ca "$WORK/certs/ca.pem" -token "$TOKEN"
 
-grep -c '(cached)$' "$WORK/warm.progress" | grep -qx 3 || {
-    echo "farmsmoke: warm resubmit was not fully served from the corpus" >&2
-    cat "$WORK/warm.progress" >&2
-    exit 1
-}
-cmp "$WORK/cold.json" "$WORK/warm.json" || {
-    echo "farmsmoke: warm summaries differ from cold summaries" >&2
-    exit 1
-}
+    echo "farmsmoke[tls]: negative checks (bad token, auth exit code)"
+    # shellcheck disable=SC2086
+    "$WORK/simfarmd" -addr "$ADDR" -cache-dir "$WORK/corpus-tls" \
+        -tls-cert "$WORK/certs/server.pem" -tls-key "$WORK/certs/server-key.pem" \
+        -tls-client-ca "$WORK/certs/ca.pem" -token "$TOKEN" 2>>"$WORK/simfarmd-tls.log" &
+    DPID=$!
+    sleep 1
+    if "$WORK/simfarm" -farm "$ADDR" -ca "$WORK/certs/ca.pem" \
+        -cert "$WORK/certs/client.pem" -key "$WORK/certs/client-key.pem" \
+        -token wrong-token -status anything 2>/dev/null; then
+        echo "farmsmoke[tls]: a wrong token must be rejected" >&2
+        exit 1
+    fi
+    set +e
+    "$WORK/simfarm-worker" -farm "$ADDR" -ca "$WORK/certs/ca.pem" \
+        -cert "$WORK/certs/client.pem" -key "$WORK/certs/client-key.pem" \
+        -token wrong-token -exit-idle 2s 2>>"$WORK/worker-auth.log"
+    code=$?
+    set -e
+    [ "$code" -eq 4 ] || {
+        echo "farmsmoke[tls]: worker with a bad token exited $code, want the distinct auth code 4" >&2
+        cat "$WORK/worker-auth.log" >&2
+        exit 1
+    }
+    kill "$DPID" && wait "$DPID" 2>/dev/null || true
+    DPID=""
+    echo "farmsmoke[tls]: OK (wrong token rejected, worker auth exit code 4)"
+fi
 
-echo "farmsmoke: OK (3 jobs simulated cold, 3 served cached, summaries identical)"
+echo "farmsmoke: OK ($MODE)"
